@@ -1,0 +1,381 @@
+//! The single-lock allocator over a simulated arena.
+
+use crate::splay::SplayTree;
+use coherence_sim::Directory;
+use numa_topology::{vclock, ClusterId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Allocator geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct MiniAllocConfig {
+    /// Simulated heap size in bytes (line-granular).
+    pub arena_bytes: u64,
+    /// Requests at or below this size go to the segregated small lists
+    /// (the paper: "lists of small — 40 bytes or less — memory blocks").
+    pub small_max: u64,
+    /// Block size granularity (everything is rounded up to this).
+    pub align: u64,
+    /// Leftover below this size is not split off a larger block.
+    pub min_split: u64,
+    /// Modelled bookkeeping compute per malloc/free, beyond line charges.
+    pub op_compute_ns: u64,
+}
+
+impl Default for MiniAllocConfig {
+    fn default() -> Self {
+        MiniAllocConfig {
+            arena_bytes: 1 << 20, // 1 MiB
+            small_max: 40,
+            align: 8,
+            min_split: 32,
+            op_compute_ns: 60,
+        }
+    }
+}
+
+/// Counters for tests and the Table 2 write-up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// malloc() calls served.
+    pub allocs: u64,
+    /// free() calls served.
+    pub frees: u64,
+    /// Blocks split while allocating.
+    pub splits: u64,
+    /// Free blocks merged with a neighbour.
+    pub coalesces: u64,
+    /// Allocations that exactly reused a recently freed block.
+    pub exact_reuses: u64,
+}
+
+/// The allocator. Contract: call under one lock (see the paper's single
+/// libc allocator lock); `cluster` attributes the coherence charges.
+pub struct MiniAlloc {
+    cfg: MiniAllocConfig,
+    tree: SplayTree,
+    /// Small-block stacks per size class (8, 16, 24, 32, 40 bytes).
+    small: Vec<Vec<u64>>,
+    /// Free-block neighbour maps for coalescing: start → size, end → start.
+    free_by_start: HashMap<u64, u64>,
+    free_by_end: HashMap<u64, u64>,
+    /// Live allocations (size by address) — also catches double frees.
+    live: HashMap<u64, u64>,
+    stats: AllocStats,
+    dir: Arc<Directory>,
+}
+
+impl MiniAlloc {
+    /// Directory lines needed for `cfg` (one per 64-byte arena line, plus
+    /// one per small-size class for the list heads).
+    pub fn lines_needed(cfg: &MiniAllocConfig) -> usize {
+        (cfg.arena_bytes / 64) as usize + (cfg.small_max / 8) as usize + 1
+    }
+
+    /// Creates the allocator with the whole arena as one free block.
+    pub fn new(cfg: MiniAllocConfig, dir: Arc<Directory>) -> Self {
+        assert!(dir.len() >= Self::lines_needed(&cfg), "directory too small");
+        assert!(cfg.arena_bytes.is_multiple_of(64));
+        let mut a = MiniAlloc {
+            small: vec![Vec::new(); (cfg.small_max / 8) as usize + 1],
+            tree: SplayTree::new(),
+            free_by_start: HashMap::new(),
+            free_by_end: HashMap::new(),
+            live: HashMap::new(),
+            stats: AllocStats::default(),
+            cfg,
+            dir,
+        };
+        a.tree.insert(cfg.arena_bytes, 0, &mut |_| {});
+        a.free_by_start.insert(0, cfg.arena_bytes);
+        a.free_by_end.insert(cfg.arena_bytes, 0);
+        a
+    }
+
+    /// Allocator statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Outstanding allocations.
+    pub fn live_blocks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Free bytes tracked by the tree and small lists.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_by_start.values().sum::<u64>()
+            + self
+                .small
+                .iter()
+                .enumerate()
+                .map(|(c, v)| (c as u64 * 8) * v.len() as u64)
+                .sum::<u64>()
+    }
+
+    /// Directory line of the small list head for `class`.
+    fn small_line(&self, class: usize) -> usize {
+        (self.cfg.arena_bytes / 64) as usize + class
+    }
+
+    #[inline]
+    fn round(&self, size: u64) -> u64 {
+        size.max(1).div_ceil(self.cfg.align) * self.cfg.align
+    }
+
+    /// Allocates `size` bytes; returns the simulated address. `None` only
+    /// when the arena is exhausted.
+    pub fn malloc(&mut self, size: u64, cluster: ClusterId) -> Option<u64> {
+        vclock::advance(self.cfg.op_compute_ns);
+        let size = self.round(size);
+        if size <= self.cfg.small_max {
+            if let Some(addr) = self.small_alloc(size, cluster) {
+                return Some(addr);
+            }
+            // Fall through: small list empty, carve from the tree.
+        }
+        let want = size;
+        let dir = Arc::clone(&self.dir);
+        let mut touch = |addr: u64| {
+            // Free-list metadata lives in the block's first line.
+            dir.write((addr / 64) as usize, cluster);
+        };
+        let (bsize, baddr) = self.tree.take_first_fit(want, &mut touch)?;
+        self.free_by_start.remove(&baddr);
+        self.free_by_end.remove(&(baddr + bsize));
+        if bsize == want {
+            self.stats.exact_reuses += 1;
+        }
+        if bsize >= want + self.cfg.min_split {
+            // Split: the remainder re-enters the tree (at the root).
+            let (raddr, rsize) = (baddr + want, bsize - want);
+            self.tree.insert(rsize, raddr, &mut touch);
+            self.free_by_start.insert(raddr, rsize);
+            self.free_by_end.insert(raddr + rsize, raddr);
+            self.live.insert(baddr, want);
+            self.stats.splits += 1;
+        } else {
+            self.live.insert(baddr, bsize);
+        }
+        self.stats.allocs += 1;
+        Some(baddr)
+    }
+
+    /// Frees the allocation at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or an address never handed out — the bugs a
+    /// real allocator would corrupt silently on.
+    pub fn free(&mut self, addr: u64, cluster: ClusterId) {
+        vclock::advance(self.cfg.op_compute_ns);
+        let size = self.live.remove(&addr).expect("free of unallocated address");
+        self.stats.frees += 1;
+        if size <= self.cfg.small_max {
+            let class = (size / 8) as usize;
+            self.dir.write(self.small_line(class), cluster);
+            self.dir.write((addr / 64) as usize, cluster);
+            self.small[class].push(addr);
+            return;
+        }
+        let dir = Arc::clone(&self.dir);
+        let mut touch = |a: u64| {
+            dir.write((a / 64) as usize, cluster);
+        };
+        // Coalesce with free neighbours (removing them from the tree),
+        // then insert the merged block — which lands at the root, making
+        // it the prime candidate for the next fitting request.
+        let mut start = addr;
+        let mut size = size;
+        if let Some(&lstart) = self.free_by_end.get(&addr) {
+            let lsize = self.free_by_start[&lstart];
+            self.tree.remove(lsize, lstart, &mut touch);
+            self.free_by_start.remove(&lstart);
+            self.free_by_end.remove(&addr);
+            start = lstart;
+            size += lsize;
+            self.stats.coalesces += 1;
+        }
+        let end = start + size;
+        if let Some(&rsize) = self.free_by_start.get(&end) {
+            self.tree.remove(rsize, end, &mut touch);
+            self.free_by_start.remove(&end);
+            self.free_by_end.remove(&(end + rsize));
+            size += rsize;
+            self.stats.coalesces += 1;
+        }
+        self.tree.insert(size, start, &mut touch);
+        self.free_by_start.insert(start, size);
+        self.free_by_end.insert(start + size, start);
+    }
+
+    fn small_alloc(&mut self, size: u64, cluster: ClusterId) -> Option<u64> {
+        let class = (size / 8) as usize;
+        self.dir.write(self.small_line(class), cluster);
+        let addr = self.small[class].pop()?;
+        self.dir.write((addr / 64) as usize, cluster);
+        self.live.insert(addr, size);
+        self.stats.allocs += 1;
+        self.stats.exact_reuses += 1;
+        Some(addr)
+    }
+
+    /// Verifies heap integrity: no overlap between live and free blocks,
+    /// free maps consistent with the tree. (Tests / proptests.)
+    pub fn check_integrity(&self) -> Result<(), String> {
+        self.tree.check_invariants()?;
+        let mut spans: Vec<(u64, u64, bool)> = Vec::new();
+        for (&a, &s) in &self.live {
+            spans.push((a, s, true));
+        }
+        for (&a, &s) in &self.free_by_start {
+            spans.push((a, s, false));
+        }
+        for (c, list) in self.small.iter().enumerate() {
+            for &a in list {
+                spans.push((a, c as u64 * 8, false));
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let (a0, s0, _) = w[0];
+            let (a1, _, _) = w[1];
+            if a0 + s0 > a1 {
+                return Err(format!("overlap: [{a0},{}) and [{a1},..)", a0 + s0));
+            }
+        }
+        // Tree contents == free_by_start (size keyed).
+        let mut tree_keys = self.tree.keys_in_order();
+        tree_keys.sort_by_key(|&(_, a)| a);
+        let mut map_keys: Vec<(u64, u64)> =
+            self.free_by_start.iter().map(|(&a, &s)| (s, a)).collect();
+        map_keys.sort_by_key(|&(_, a)| a);
+        if tree_keys != map_keys {
+            return Err("tree and free map disagree".into());
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MiniAlloc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiniAlloc")
+            .field("live", &self.live.len())
+            .field("free_blocks", &self.tree.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coherence_sim::CostModel;
+
+    const C0: ClusterId = ClusterId::new(0);
+
+    fn alloc() -> MiniAlloc {
+        let cfg = MiniAllocConfig::default();
+        let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+        MiniAlloc::new(cfg, dir)
+    }
+
+    #[test]
+    fn malloc_free_roundtrip() {
+        let mut a = alloc();
+        let p = a.malloc(64, C0).unwrap();
+        assert_eq!(a.live_blocks(), 1);
+        a.free(p, C0);
+        assert_eq!(a.live_blocks(), 0);
+        a.check_integrity().unwrap();
+        assert_eq!(a.free_bytes(), a.cfg.arena_bytes);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut a = alloc();
+        let mut ptrs = Vec::new();
+        for _ in 0..100 {
+            ptrs.push((a.malloc(64, C0).unwrap(), 64u64));
+        }
+        ptrs.sort_unstable();
+        for w in ptrs.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap");
+        }
+        a.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn recently_freed_is_recycled_first() {
+        // The §4.3 effect: free then malloc of the same size returns the
+        // same block (it sits at the splay root).
+        let mut a = alloc();
+        // Fragment the arena a little first.
+        let keep: Vec<u64> = (0..10).map(|_| a.malloc(64, C0).unwrap()).collect();
+        let p = a.malloc(64, C0).unwrap();
+        a.free(p, C0);
+        let q = a.malloc(64, C0).unwrap();
+        assert_eq!(p, q, "most recently freed block should be recycled");
+        for k in keep {
+            a.free(k, C0);
+        }
+        a.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn coalescing_restores_arena() {
+        let mut a = alloc();
+        let ps: Vec<u64> = (0..50).map(|_| a.malloc(128, C0).unwrap()).collect();
+        // Free in a scrambled order to exercise both-neighbour merges.
+        for i in (0..50).step_by(2) {
+            a.free(ps[i], C0);
+        }
+        for i in (1..50).step_by(2) {
+            a.free(ps[i], C0);
+        }
+        a.check_integrity().unwrap();
+        assert_eq!(a.free_bytes(), a.cfg.arena_bytes);
+        assert!(a.stats().coalesces > 0);
+        // The arena should be one block again.
+        assert_eq!(a.tree.len(), 1);
+    }
+
+    #[test]
+    fn small_blocks_use_segregated_lists() {
+        let mut a = alloc();
+        let p = a.malloc(24, C0).unwrap();
+        a.free(p, C0);
+        let q = a.malloc(24, C0).unwrap();
+        assert_eq!(p, q, "small list should recycle LIFO");
+        a.free(q, C0);
+        a.check_integrity().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unallocated address")]
+    fn double_free_panics() {
+        let mut a = alloc();
+        let p = a.malloc(64, C0).unwrap();
+        a.free(p, C0);
+        a.free(p, C0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let cfg = MiniAllocConfig {
+            arena_bytes: 1024,
+            ..Default::default()
+        };
+        let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+        let mut a = MiniAlloc::new(cfg, dir);
+        let mut got = Vec::new();
+        while let Some(p) = a.malloc(64, C0) {
+            got.push(p);
+        }
+        assert_eq!(got.len(), 16, "1024/64");
+        for p in got {
+            a.free(p, C0);
+        }
+        a.check_integrity().unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! A libc-style single-lock memory allocator — the substrate behind
+//! Table 2 of the paper.
+//!
+//! The paper's final case study swaps cohort locks under the **Solaris
+//! libc allocator**: one global lock serializes `malloc`/`free`, and the
+//! free-block index is a **splay tree** ("the libc allocator maintains a
+//! single splay tree of free nodes of various sizes; it also maintains
+//! lists of small — 40 bytes or less — memory blocks"). Because a freshly
+//! freed block is splayed to the root and allocation returns the first
+//! fitting block, *the most recently freed block is the next one handed
+//! out* — so whichever NUMA cluster currently holds the lock keeps
+//! recycling the same blocks through its own cache. That interaction
+//! between lock admission order and allocator policy is what makes cohort
+//! locks scale mmicro by ~6× (Table 2).
+//!
+//! Pieces:
+//!
+//! * [`SplayTree`] — a classic bottom-up splay tree over free blocks,
+//!   keyed by `(size, addr)`, with a touch hook so every node visit can be
+//!   charged to the coherence directory (free-list metadata lives *inside*
+//!   the free blocks, exactly like libc).
+//! * [`MiniAlloc`] — the allocator: small-block segregated lists, the
+//!   splay tree for everything else, splitting, and address-neighbour
+//!   coalescing over a simulated arena.
+//! * [`workload`] — the mmicro benchmark: per thread,
+//!   `malloc(64) → write 4 words → delay → free → delay`, reporting
+//!   malloc-free pairs per millisecond.
+
+#![warn(missing_docs)]
+
+mod allocator;
+mod splay;
+pub mod workload;
+
+pub use allocator::{AllocStats, MiniAlloc, MiniAllocConfig};
+pub use splay::SplayTree;

@@ -1,0 +1,384 @@
+//! A splay tree of free blocks, keyed by `(size, addr)`.
+//!
+//! Why a splay tree: it is what the paper says Solaris libc uses, and its
+//! move-to-root behaviour is load-bearing for the evaluation — "a newly
+//! inserted node always goes to the root of the tree, and as a result the
+//! most recently deallocated memory blocks tend to be reallocated more
+//! often" (§4.3).
+//!
+//! Nodes live in a slab (`Vec`) and are addressed by index; the tree keeps
+//! a free-slot list so long-running workloads do not grow the slab. Every
+//! node visited by a lookup/rotation reports itself through the `touch`
+//! callback — the allocator wires that to the coherence directory because
+//! real free-list metadata lives in the free blocks themselves.
+
+/// Slab index; `NIL` = empty.
+type Idx = usize;
+const NIL: Idx = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    size: u64,
+    addr: u64,
+    left: Idx,
+    right: Idx,
+    parent: Idx,
+}
+
+/// The free-block index: an ordinary splay tree with `(size, addr)` keys.
+#[derive(Debug, Default)]
+pub struct SplayTree {
+    nodes: Vec<Node>,
+    free: Vec<Idx>,
+    root: Idx,
+    len: usize,
+}
+
+impl SplayTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        SplayTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of free blocks indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn key(&self, i: Idx) -> (u64, u64) {
+        (self.nodes[i].size, self.nodes[i].addr)
+    }
+
+    fn alloc_node(&mut self, size: u64, addr: u64) -> Idx {
+        let n = Node {
+            size,
+            addr,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = n;
+                i
+            }
+            None => {
+                self.nodes.push(n);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// One rotation around `x`'s parent. `touch` sees every modified node.
+    fn rotate(&mut self, x: Idx, touch: &mut impl FnMut(u64)) {
+        let p = self.nodes[x].parent;
+        debug_assert_ne!(p, NIL);
+        let g = self.nodes[p].parent;
+        touch(self.nodes[x].addr);
+        touch(self.nodes[p].addr);
+        if self.nodes[p].left == x {
+            let b = self.nodes[x].right;
+            self.nodes[p].left = b;
+            if b != NIL {
+                self.nodes[b].parent = p;
+            }
+            self.nodes[x].right = p;
+        } else {
+            let b = self.nodes[x].left;
+            self.nodes[p].right = b;
+            if b != NIL {
+                self.nodes[b].parent = p;
+            }
+            self.nodes[x].left = p;
+        }
+        self.nodes[p].parent = x;
+        self.nodes[x].parent = g;
+        if g == NIL {
+            self.root = x;
+        } else if self.nodes[g].left == p {
+            self.nodes[g].left = x;
+        } else {
+            self.nodes[g].right = x;
+        }
+    }
+
+    /// Splays `x` to the root (zig / zig-zig / zig-zag).
+    fn splay(&mut self, x: Idx, touch: &mut impl FnMut(u64)) {
+        while self.nodes[x].parent != NIL {
+            let p = self.nodes[x].parent;
+            let g = self.nodes[p].parent;
+            if g == NIL {
+                self.rotate(x, touch);
+            } else if (self.nodes[g].left == p) == (self.nodes[p].left == x) {
+                self.rotate(p, touch);
+                self.rotate(x, touch);
+            } else {
+                self.rotate(x, touch);
+                self.rotate(x, touch);
+            }
+        }
+    }
+
+    /// Inserts a free block; it ends at the root (the libc behaviour the
+    /// paper leans on).
+    pub fn insert(&mut self, size: u64, addr: u64, touch: &mut impl FnMut(u64)) {
+        let n = self.alloc_node(size, addr);
+        touch(addr);
+        if self.root == NIL {
+            self.root = n;
+            self.len += 1;
+            return;
+        }
+        let key = (size, addr);
+        let mut cur = self.root;
+        loop {
+            touch(self.nodes[cur].addr);
+            if key < self.key(cur) {
+                if self.nodes[cur].left == NIL {
+                    self.nodes[cur].left = n;
+                    self.nodes[n].parent = cur;
+                    break;
+                }
+                cur = self.nodes[cur].left;
+            } else {
+                if self.nodes[cur].right == NIL {
+                    self.nodes[cur].right = n;
+                    self.nodes[n].parent = cur;
+                    break;
+                }
+                cur = self.nodes[cur].right;
+            }
+        }
+        self.splay(n, touch);
+        self.len += 1;
+    }
+
+    /// Finds the smallest block with `size >= want` (best-fit by size
+    /// order; "first matching block" in the paper's description), removes
+    /// it, and returns `(size, addr)`.
+    pub fn take_first_fit(&mut self, want: u64, touch: &mut impl FnMut(u64)) -> Option<(u64, u64)> {
+        let mut cur = self.root;
+        let mut best = NIL;
+        while cur != NIL {
+            touch(self.nodes[cur].addr);
+            if self.nodes[cur].size >= want {
+                best = cur;
+                cur = self.nodes[cur].left;
+            } else {
+                cur = self.nodes[cur].right;
+            }
+        }
+        if best == NIL {
+            return None;
+        }
+        let out = (self.nodes[best].size, self.nodes[best].addr);
+        self.remove_idx(best, touch);
+        Some(out)
+    }
+
+    /// Removes the block `(size, addr)` if present; true on success.
+    pub fn remove(&mut self, size: u64, addr: u64, touch: &mut impl FnMut(u64)) -> bool {
+        let key = (size, addr);
+        let mut cur = self.root;
+        while cur != NIL {
+            touch(self.nodes[cur].addr);
+            let k = self.key(cur);
+            if key == k {
+                self.remove_idx(cur, touch);
+                return true;
+            }
+            cur = if key < k {
+                self.nodes[cur].left
+            } else {
+                self.nodes[cur].right
+            };
+        }
+        false
+    }
+
+    fn remove_idx(&mut self, x: Idx, touch: &mut impl FnMut(u64)) {
+        self.splay(x, touch);
+        let (l, r) = (self.nodes[x].left, self.nodes[x].right);
+        if l != NIL {
+            self.nodes[l].parent = NIL;
+        }
+        if r != NIL {
+            self.nodes[r].parent = NIL;
+        }
+        self.root = match (l, r) {
+            (NIL, r) => r,
+            (l, NIL) => l,
+            (l, r) => {
+                // Splay the maximum of the left subtree up, hang right on it.
+                let mut m = l;
+                while self.nodes[m].right != NIL {
+                    touch(self.nodes[m].addr);
+                    m = self.nodes[m].right;
+                }
+                // Temporarily isolate the left subtree for the splay.
+                self.splay_within(m, touch);
+                self.nodes[m].right = r;
+                self.nodes[r].parent = m;
+                touch(self.nodes[m].addr);
+                m
+            }
+        };
+        self.free.push(x);
+        self.len -= 1;
+    }
+
+    /// Splays `x` to the root of its (detached) subtree.
+    fn splay_within(&mut self, x: Idx, touch: &mut impl FnMut(u64)) {
+        self.splay(x, touch);
+    }
+
+    /// Root block key (tests).
+    pub fn root_key(&self) -> Option<(u64, u64)> {
+        (self.root != NIL).then(|| self.key(self.root))
+    }
+
+    /// In-order traversal of `(size, addr)` keys (tests/verification).
+    pub fn keys_in_order(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur].left;
+            }
+            cur = stack.pop().unwrap();
+            out.push(self.key(cur));
+            cur = self.nodes[cur].right;
+        }
+        out
+    }
+
+    /// Structural self-check: BST order, parent links, reachable count
+    /// (used by tests and proptests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.root == NIL {
+            return if self.len == 0 {
+                Ok(())
+            } else {
+                Err(format!("empty root but len={}", self.len))
+            };
+        }
+        if self.nodes[self.root].parent != NIL {
+            return Err("root has a parent".into());
+        }
+        let keys = self.keys_in_order();
+        if keys.len() != self.len {
+            return Err(format!("reachable {} != len {}", keys.len(), self.len));
+        }
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("in-order keys not strictly increasing".into());
+        }
+        // Parent/child link consistency.
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            for child in [self.nodes[i].left, self.nodes[i].right] {
+                if child != NIL {
+                    if self.nodes[child].parent != i {
+                        return Err(format!("bad parent link at {child}"));
+                    }
+                    stack.push(child);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_touch() -> impl FnMut(u64) {
+        |_| {}
+    }
+
+    #[test]
+    fn insert_puts_node_at_root() {
+        let mut t = SplayTree::new();
+        t.insert(64, 1000, &mut no_touch());
+        t.insert(128, 2000, &mut no_touch());
+        t.insert(32, 3000, &mut no_touch());
+        // The paper's property: last insert sits at the root.
+        assert_eq!(t.root_key(), Some((32, 3000)));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn first_fit_returns_smallest_sufficient() {
+        let mut t = SplayTree::new();
+        t.insert(64, 1000, &mut no_touch());
+        t.insert(256, 2000, &mut no_touch());
+        t.insert(128, 3000, &mut no_touch());
+        assert_eq!(t.take_first_fit(100, &mut no_touch()), Some((128, 3000)));
+        assert_eq!(t.len(), 2);
+        t.check_invariants().unwrap();
+        assert_eq!(t.take_first_fit(1000, &mut no_touch()), None);
+    }
+
+    #[test]
+    fn recently_freed_block_is_preferred_for_exact_fit() {
+        let mut t = SplayTree::new();
+        t.insert(64, 1000, &mut no_touch());
+        t.insert(64, 2000, &mut no_touch());
+        // Exact-fit request: ties broken by (size, addr) order; both are
+        // candidates, and the search must return a 64-byte block.
+        let (size, addr) = t.take_first_fit(64, &mut no_touch()).unwrap();
+        assert_eq!(size, 64);
+        assert!(addr == 1000 || addr == 2000);
+    }
+
+    #[test]
+    fn remove_specific_block() {
+        let mut t = SplayTree::new();
+        for (s, a) in [(64, 1), (64, 2), (128, 3)] {
+            t.insert(s, a, &mut no_touch());
+        }
+        assert!(t.remove(64, 2, &mut no_touch()));
+        assert!(!t.remove(64, 2, &mut no_touch()));
+        assert_eq!(t.keys_in_order(), vec![(64, 1), (128, 3)]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn touch_reports_visited_blocks() {
+        let mut t = SplayTree::new();
+        let mut touched = Vec::new();
+        t.insert(64, 7, &mut |a| touched.push(a));
+        assert!(touched.contains(&7));
+        touched.clear();
+        t.insert(128, 9, &mut |a| touched.push(a));
+        assert!(touched.contains(&9));
+        assert!(touched.contains(&7), "walk past the old root");
+    }
+
+    #[test]
+    fn node_slots_recycle() {
+        let mut t = SplayTree::new();
+        for round in 0..10 {
+            for i in 0..16u64 {
+                t.insert(64, round * 100 + i, &mut no_touch());
+            }
+            for i in 0..16u64 {
+                assert!(t.remove(64, round * 100 + i, &mut no_touch()));
+            }
+        }
+        assert!(t.nodes.len() <= 16, "slab grew to {}", t.nodes.len());
+    }
+}

@@ -1,0 +1,215 @@
+//! Spin-wait strategies.
+//!
+//! Three concerns meet here:
+//!
+//! 1. **Classic backoff** (Agarwal & Cherian '89): after a failed probe of
+//!    a contended test-and-set lock, wait before probing again so the lock
+//!    word is not bounced between caches. The paper's "BO" lock uses
+//!    bounded exponential backoff; its "Fib-BO" variant (Table 1) grows the
+//!    delay along the Fibonacci sequence.
+//! 2. **Oversubscription**: on fewer CPUs than threads a pure spin loop
+//!    starves the lock holder. All waits therefore escalate to
+//!    `thread::yield_now` once the spin budget is used up.
+//! 3. **Tunability**: HBO-style locks need separate local/remote backoff
+//!    parameters; [`BackoffCfg`] carries them as plain data so benchmark
+//!    harnesses can sweep them (the paper tunes HBO per workload).
+
+use std::hint;
+use std::thread;
+
+/// Parameters of a bounded backoff sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffCfg {
+    /// Spin iterations of the first delay step.
+    pub min_spins: u32,
+    /// Cap on the delay step.
+    pub max_spins: u32,
+    /// After this many delay rounds, start yielding the CPU between probes.
+    pub yield_after: u32,
+}
+
+impl BackoffCfg {
+    /// The default exponential window used by [`BackoffLock`](crate::BackoffLock).
+    pub const fn exp_default() -> Self {
+        BackoffCfg {
+            min_spins: 4,
+            max_spins: 1 << 10,
+            yield_after: 6,
+        }
+    }
+
+    /// "No backoff": every wait is a single spin hint (with yield
+    /// escalation). The paper's cohort locks use this at the *global* BO
+    /// lock, which is only ever lightly contended (§4.1.1: threads
+    /// "continuously spin on it and never backoff").
+    pub const fn none() -> Self {
+        BackoffCfg {
+            min_spins: 1,
+            max_spins: 1,
+            yield_after: 64,
+        }
+    }
+}
+
+impl Default for BackoffCfg {
+    fn default() -> Self {
+        Self::exp_default()
+    }
+}
+
+/// Per-acquisition backoff state: call [`snooze`](Self::snooze) after every
+/// failed probe.
+#[derive(Debug)]
+pub struct Backoff {
+    cfg: BackoffCfg,
+    cur: u32,
+    rounds: u32,
+}
+
+impl Backoff {
+    /// Starts a backoff sequence with the given configuration.
+    #[inline]
+    pub fn new(cfg: BackoffCfg) -> Self {
+        Backoff {
+            cfg,
+            cur: cfg.min_spins,
+            rounds: 0,
+        }
+    }
+
+    /// Starts the default exponential sequence.
+    #[inline]
+    pub fn exp() -> Self {
+        Self::new(BackoffCfg::exp_default())
+    }
+
+    /// Waits one backoff step (doubling up to the cap), yielding the CPU
+    /// once the configured round budget is exhausted.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.rounds >= self.cfg.yield_after {
+            thread::yield_now();
+            return;
+        }
+        spin_cycles(self.cur);
+        self.cur = (self.cur.saturating_mul(2)).min(self.cfg.max_spins);
+        self.rounds += 1;
+    }
+
+    /// Resets to the initial step (e.g. after observing the lock free).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.cur = self.cfg.min_spins;
+        self.rounds = 0;
+    }
+
+    /// Number of snoozes taken so far.
+    #[inline]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+/// A Fibonacci backoff sequence: delay steps follow 1, 1, 2, 3, 5, …
+/// capped at `max_spins` (the growth curve of Table 1's "Fib-BO" lock —
+/// gentler than doubling, so waiters re-probe sooner).
+#[derive(Debug)]
+pub struct FibBackoff {
+    prev: u32,
+    cur: u32,
+    max_spins: u32,
+    rounds: u32,
+    yield_after: u32,
+}
+
+impl FibBackoff {
+    /// Starts a Fibonacci sequence capped at `max_spins`.
+    pub fn new(max_spins: u32, yield_after: u32) -> Self {
+        FibBackoff {
+            prev: 0,
+            cur: 1,
+            max_spins,
+            rounds: 0,
+            yield_after,
+        }
+    }
+
+    /// Waits one Fibonacci step.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.rounds >= self.yield_after {
+            thread::yield_now();
+            return;
+        }
+        spin_cycles(self.cur.min(self.max_spins));
+        let next = (self.prev + self.cur).min(self.max_spins);
+        self.prev = self.cur;
+        self.cur = next;
+        self.rounds += 1;
+    }
+}
+
+/// Issues `n` pause/spin-loop hints.
+#[inline]
+pub fn spin_cycles(n: u32) {
+    for _ in 0..n {
+        hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_growth_caps() {
+        let cfg = BackoffCfg {
+            min_spins: 2,
+            max_spins: 8,
+            yield_after: 100,
+        };
+        let mut b = Backoff::new(cfg);
+        let steps: Vec<u32> = (0..5)
+            .map(|_| {
+                let s = b.cur;
+                b.snooze();
+                s
+            })
+            .collect();
+        assert_eq!(steps, vec![2, 4, 8, 8, 8]);
+    }
+
+    #[test]
+    fn reset_restarts_sequence() {
+        let mut b = Backoff::exp();
+        b.snooze();
+        b.snooze();
+        assert_eq!(b.rounds(), 2);
+        b.reset();
+        assert_eq!(b.rounds(), 0);
+    }
+
+    #[test]
+    fn fib_sequence_caps() {
+        let mut f = FibBackoff::new(5, 100);
+        let mut steps = Vec::new();
+        for _ in 0..6 {
+            steps.push(f.cur);
+            f.snooze();
+        }
+        assert_eq!(steps, vec![1, 1, 2, 3, 5, 5]);
+    }
+
+    #[test]
+    fn snooze_past_budget_yields_without_panicking() {
+        let mut b = Backoff::new(BackoffCfg {
+            min_spins: 1,
+            max_spins: 2,
+            yield_after: 1,
+        });
+        for _ in 0..10 {
+            b.snooze();
+        }
+        assert_eq!(b.rounds(), 1); // rounds stop counting once yielding
+    }
+}

@@ -1,0 +1,244 @@
+//! The MCS queue lock (Mellor-Crummey & Scott '91).
+//!
+//! Waiters form an explicit linked queue; each spins only on a flag in its
+//! **own** node ("local spinning"), so a release touches exactly one remote
+//! cache line. The paper uses MCS in three roles:
+//!
+//! * baseline NUMA-oblivious lock in every experiment;
+//! * local cohort lock (C-BO-MCS, C-TKT-MCS, C-MCS-MCS) — that variant,
+//!   with the tri-state release field, lives in the `cohort` crate;
+//! * **global** lock of C-MCS-MCS, which requires thread-obliviousness:
+//!   the node a thread enqueues must be releasable by a *different* thread.
+//!   §3.4 solves this by circulating nodes through pools; this
+//!   implementation allocates nodes from a per-lock [`NodePool`], so its
+//!   token (and therefore the release capability) can cross threads.
+
+use crate::pool::NodePool;
+use crate::raw::RawLock;
+use crossbeam_utils::CachePadded;
+use std::ptr;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// One queue entry. Pool-owned; never on a thread's stack.
+#[derive(Debug)]
+pub struct McsNode {
+    next: AtomicPtr<McsNode>,
+    locked: AtomicBool,
+}
+
+impl McsNode {
+    fn new() -> Self {
+        McsNode {
+            next: AtomicPtr::new(ptr::null_mut()),
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Acquisition token: the queue node enqueued by `lock`.
+///
+/// `Send` so the matching `unlock` may run on another thread — the
+/// thread-obliviousness the global lock of C-MCS-MCS needs.
+#[derive(Debug)]
+pub struct McsToken(NonNull<McsNode>);
+
+// SAFETY: the node is pool-owned and only manipulated through atomics;
+// the token is a unique capability to release it.
+unsafe impl Send for McsToken {}
+
+/// MCS queue lock.
+pub struct McsLock {
+    tail: CachePadded<AtomicPtr<McsNode>>,
+    pool: NodePool<McsNode>,
+}
+
+impl McsLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        McsLock {
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            pool: NodePool::new(McsNode::new),
+        }
+    }
+
+    /// True if held or contended (racy snapshot; for monitoring only).
+    pub fn has_waiters_or_holder(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for McsLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McsLock")
+            .field("busy", &self.has_waiters_or_holder())
+            .finish()
+    }
+}
+
+unsafe impl RawLock for McsLock {
+    type Token = McsToken;
+
+    fn lock(&self) -> McsToken {
+        let node = self.pool.acquire();
+        // SAFETY: freshly acquired node, not yet published.
+        unsafe {
+            node.as_ref().next.store(ptr::null_mut(), Ordering::Relaxed);
+            node.as_ref().locked.store(true, Ordering::Relaxed);
+        }
+        let pred = self.tail.swap(node.as_ptr(), Ordering::AcqRel);
+        if !pred.is_null() {
+            // SAFETY: pred stays valid until *we* are granted the lock —
+            // its owner cannot complete `unlock` before writing our flag.
+            unsafe { (*pred).next.store(node.as_ptr(), Ordering::Release) };
+            let mut spins = 0u32;
+            while unsafe { node.as_ref().locked.load(Ordering::Acquire) } {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        McsToken(node)
+    }
+
+    fn try_lock(&self) -> Option<McsToken> {
+        let node = self.pool.acquire();
+        unsafe {
+            node.as_ref().next.store(ptr::null_mut(), Ordering::Relaxed);
+            node.as_ref().locked.store(true, Ordering::Relaxed);
+        }
+        match self.tail.compare_exchange(
+            ptr::null_mut(),
+            node.as_ptr(),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Some(McsToken(node)),
+            Err(_) => {
+                // SAFETY: never published.
+                unsafe { self.pool.release(node) };
+                None
+            }
+        }
+    }
+
+    unsafe fn unlock(&self, token: McsToken) {
+        let node = token.0;
+        let mut next = node.as_ref().next.load(Ordering::Acquire);
+        if next.is_null() {
+            // No known successor: try to swing tail back to empty.
+            if self
+                .tail
+                .compare_exchange(
+                    node.as_ptr(),
+                    ptr::null_mut(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.pool.release(node);
+                return;
+            }
+            // A successor swapped tail but has not linked yet: wait for it.
+            loop {
+                next = node.as_ref().next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        (*next).locked.store(false, Ordering::Release);
+        // Our node is quiescent: the successor linked to it already and
+        // spins on its own node from here on.
+        self.pool.release(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::mutual_exclusion_stress;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion() {
+        mutual_exclusion_stress(Arc::new(McsLock::new()), 4, 2_000);
+    }
+
+    #[test]
+    fn uncontended_lock_unlock_recycles_node() {
+        let l = McsLock::new();
+        for _ in 0..10 {
+            let t = l.lock();
+            unsafe { l.unlock(t) };
+        }
+        assert!(l.pool.allocated() <= 1, "single thread needs one node");
+    }
+
+    #[test]
+    fn try_lock_fails_under_holder_and_releases_node() {
+        let l = McsLock::new();
+        let t = l.lock();
+        assert!(l.try_lock().is_none());
+        unsafe { l.unlock(t) };
+        let t2 = l.try_lock().expect("free after unlock");
+        unsafe { l.unlock(t2) };
+        // The failed try_lock must not have leaked its node.
+        assert_eq!(l.pool.allocated(), l.pool.free_count());
+    }
+
+    #[test]
+    fn thread_oblivious_release_with_token_transfer() {
+        // This is the C-MCS-MCS global-lock usage: release from another
+        // thread while a third thread is queued behind the holder.
+        let l = Arc::new(McsLock::new());
+        let t = l.lock();
+        let l_waiter = Arc::clone(&l);
+        let waiter = std::thread::spawn(move || {
+            let t = l_waiter.lock();
+            unsafe { l_waiter.unlock(t) };
+        });
+        // Give the waiter a moment to enqueue.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let l_releaser = Arc::clone(&l);
+        std::thread::spawn(move || unsafe { l_releaser.unlock(t) })
+            .join()
+            .unwrap();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn pool_stays_bounded_under_stress() {
+        let l = Arc::new(McsLock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        let t = l.lock();
+                        unsafe { l.unlock(t) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            l.pool.allocated() <= 8,
+            "allocated {} nodes for 4 threads",
+            l.pool.allocated()
+        );
+    }
+}

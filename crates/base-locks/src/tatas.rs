@@ -1,0 +1,304 @@
+//! Test-and-test-and-set locks, with and without backoff.
+//!
+//! The paper calls the exponential-backoff variant the **BO lock** [3] and
+//! uses it pervasively: as the global lock of C-BO-BO, C-BO-MCS, A-C-BO-BO
+//! and A-C-BO-CLH (where, being lightly contended, it runs with backoff
+//! disabled), and — augmented with a `successor_exists` flag in the cohort
+//! crate — as a local lock. The Fibonacci variant appears as "Fib-BO" in
+//! the memcached evaluation (Table 1).
+//!
+//! All three locks here are **thread-oblivious** (any thread may call
+//! `unlock`; the lock word carries no owner identity) and **abortable by
+//! design** (a waiter simply stops probing), the two properties §3 of the
+//! paper relies on.
+
+use crate::backoff::{Backoff, BackoffCfg, FibBackoff};
+use crate::raw::{Patience, RawAbortableLock, RawLock};
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Plain test-and-test-and-set lock (no backoff).
+///
+/// Kept mostly as a baseline: under contention every release invalidates
+/// the lock word in every waiter's cache, which is exactly the behaviour
+/// NUMA-aware locks exist to avoid.
+#[derive(Debug, Default)]
+pub struct TatasLock {
+    state: CachePadded<AtomicBool>,
+}
+
+impl TatasLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if currently held (racy snapshot; for monitoring only).
+    pub fn is_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn try_acquire(&self) -> bool {
+        !self.state.load(Ordering::Relaxed)
+            && self
+                .state
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+}
+
+unsafe impl RawLock for TatasLock {
+    type Token = ();
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self.try_acquire() {
+                return;
+            }
+            // Test loop: wait on a (cached) read, not on the RMW.
+            while self.state.load(Ordering::Relaxed) {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    fn try_lock(&self) -> Option<()> {
+        self.try_acquire().then_some(())
+    }
+
+    unsafe fn unlock(&self, _t: ()) {
+        self.state.store(false, Ordering::Release);
+    }
+}
+
+unsafe impl RawAbortableLock for TatasLock {
+    fn lock_with_patience(&self, patience_ns: u64) -> Option<()> {
+        let mut p = Patience::new(patience_ns);
+        loop {
+            if self.try_acquire() {
+                return Some(());
+            }
+            while self.state.load(Ordering::Relaxed) {
+                if p.expired() {
+                    return None;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Test-and-test-and-set with bounded **exponential backoff** — the
+/// paper's BO lock (Agarwal & Cherian '89).
+#[derive(Debug)]
+pub struct BackoffLock {
+    state: CachePadded<AtomicBool>,
+    cfg: BackoffCfg,
+}
+
+impl BackoffLock {
+    /// Creates an unlocked instance with the default backoff window.
+    pub fn new() -> Self {
+        Self::with_cfg(BackoffCfg::exp_default())
+    }
+
+    /// Creates an unlocked instance with an explicit backoff window; use
+    /// [`BackoffCfg::none`] for the global-lock role in cohort locks.
+    pub fn with_cfg(cfg: BackoffCfg) -> Self {
+        BackoffLock {
+            state: CachePadded::new(AtomicBool::new(false)),
+            cfg,
+        }
+    }
+
+    /// True if currently held (racy snapshot; for monitoring only).
+    pub fn is_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn try_acquire(&self) -> bool {
+        !self.state.load(Ordering::Relaxed)
+            && self
+                .state
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+}
+
+impl Default for BackoffLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for BackoffLock {
+    type Token = ();
+
+    fn lock(&self) {
+        let mut bo = Backoff::new(self.cfg);
+        loop {
+            if self.try_acquire() {
+                return;
+            }
+            bo.snooze();
+        }
+    }
+
+    fn try_lock(&self) -> Option<()> {
+        self.try_acquire().then_some(())
+    }
+
+    unsafe fn unlock(&self, _t: ()) {
+        self.state.store(false, Ordering::Release);
+    }
+}
+
+unsafe impl RawAbortableLock for BackoffLock {
+    fn lock_with_patience(&self, patience_ns: u64) -> Option<()> {
+        let mut bo = Backoff::new(self.cfg);
+        let mut p = Patience::new(patience_ns);
+        loop {
+            if self.try_acquire() {
+                return Some(());
+            }
+            if p.expired() {
+                return None;
+            }
+            bo.snooze();
+        }
+    }
+}
+
+/// Test-and-test-and-set with **Fibonacci backoff** — "Fib-BO" in Table 1
+/// of the paper. The gentler growth curve probes more often than doubling,
+/// trading some coherence traffic for lower handover latency.
+#[derive(Debug)]
+pub struct FibBackoffLock {
+    state: CachePadded<AtomicBool>,
+    max_spins: u32,
+}
+
+impl FibBackoffLock {
+    /// Creates an unlocked instance with the default cap.
+    pub fn new() -> Self {
+        FibBackoffLock {
+            state: CachePadded::new(AtomicBool::new(false)),
+            max_spins: 1 << 10,
+        }
+    }
+
+    #[inline]
+    fn try_acquire(&self) -> bool {
+        !self.state.load(Ordering::Relaxed)
+            && self
+                .state
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+}
+
+impl Default for FibBackoffLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for FibBackoffLock {
+    type Token = ();
+
+    fn lock(&self) {
+        let mut bo = FibBackoff::new(self.max_spins, 24);
+        loop {
+            if self.try_acquire() {
+                return;
+            }
+            bo.snooze();
+        }
+    }
+
+    fn try_lock(&self) -> Option<()> {
+        self.try_acquire().then_some(())
+    }
+
+    unsafe fn unlock(&self, _t: ()) {
+        self.state.store(false, Ordering::Release);
+    }
+}
+
+unsafe impl RawAbortableLock for FibBackoffLock {
+    fn lock_with_patience(&self, patience_ns: u64) -> Option<()> {
+        let mut bo = FibBackoff::new(self.max_spins, 24);
+        let mut p = Patience::new(patience_ns);
+        loop {
+            if self.try_acquire() {
+                return Some(());
+            }
+            if p.expired() {
+                return None;
+            }
+            bo.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::mutual_exclusion_stress;
+    use std::sync::Arc;
+
+    #[test]
+    fn tatas_mutual_exclusion() {
+        mutual_exclusion_stress(Arc::new(TatasLock::new()), 4, 2_000);
+    }
+
+    #[test]
+    fn bo_mutual_exclusion() {
+        mutual_exclusion_stress(Arc::new(BackoffLock::new()), 4, 2_000);
+    }
+
+    #[test]
+    fn fib_bo_mutual_exclusion() {
+        mutual_exclusion_stress(Arc::new(FibBackoffLock::new()), 4, 2_000);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let l = BackoffLock::new();
+        let t: () = l.try_lock().unwrap();
+        assert!(l.try_lock().is_none());
+        unsafe { l.unlock(t) };
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn abort_returns_none_while_held_and_lock_stays_usable() {
+        let l = Arc::new(BackoffLock::new());
+        let t: () = l.lock();
+        assert!(l.lock_with_patience(100_000).is_none()); // 100 µs
+        unsafe { l.unlock(t) };
+        // After the abort the lock must still work.
+        let t: () = l.lock_with_patience(1_000_000_000).expect("now free");
+        unsafe { l.unlock(t) };
+    }
+
+    #[test]
+    fn thread_oblivious_release() {
+        // BO locks are thread-oblivious: hand the token to another thread.
+        let l = Arc::new(TatasLock::new());
+        let t: () = l.lock();
+        let l2 = Arc::clone(&l);
+        std::thread::spawn(move || unsafe { l2.unlock(t) })
+            .join()
+            .unwrap();
+        assert!(!l.is_locked());
+    }
+}

@@ -1,0 +1,267 @@
+//! The hierarchical backoff lock — HBO (Radović & Hagersten, HPCA '03).
+//!
+//! A test-and-test-and-set lock whose word stores the **cluster id of the
+//! holder** instead of a boolean. A waiter that sees the lock held by its
+//! own cluster backs off briefly (the lock will likely be handed around
+//! nearby — cheap to re-probe); a waiter seeing a remote holder backs off
+//! long, ceding the lock word to the holder's cluster. That asymmetry is
+//! the entire NUMA story — and also HBO's weakness: the paper (§1, §4)
+//! shows the backoff windows must be re-tuned per workload and platform,
+//! and fairness degrades to starvation under load. We implement it as the
+//! evaluation's representative of prior NUMA-aware locks, including the
+//! paper's "tuned" variants and the abortable **A-HBO** (a thread aborts
+//! by simply giving up between probes).
+
+use base_locks::backoff::spin_cycles;
+use base_locks::{RawAbortableLock, RawLock};
+use crossbeam_utils::CachePadded;
+use numa_topology::{current_cluster_in, Topology};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const FREE: u32 = u32::MAX;
+
+/// Backoff windows of the HBO lock. The paper's complaint made concrete:
+/// four knobs, all workload-sensitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HboParams {
+    /// Initial spin window when the holder is in our cluster.
+    pub local_min: u32,
+    /// Cap of the local window.
+    pub local_max: u32,
+    /// Initial spin window when the holder is remote.
+    pub remote_min: u32,
+    /// Cap of the remote window.
+    pub remote_max: u32,
+    /// Backoff rounds before yielding the CPU (oversubscription guard).
+    pub yield_after: u32,
+}
+
+impl HboParams {
+    /// The profile our microbenchmark sweep settled on (stands in for the
+    /// paper's "HBO" column, tuned on LBench).
+    pub const fn microbench_tuned() -> Self {
+        HboParams {
+            local_min: 16,
+            local_max: 1 << 8,
+            remote_min: 1 << 10,
+            remote_max: 1 << 14,
+            yield_after: 24,
+        }
+    }
+
+    /// A profile tuned for the key-value-store workload (stands in for
+    /// Table 1's "HBO (tuned)" column): shorter remote windows, because
+    /// memcached-style critical sections are much longer than LBench's.
+    pub const fn kvstore_tuned() -> Self {
+        HboParams {
+            local_min: 32,
+            local_max: 1 << 9,
+            remote_min: 1 << 7,
+            remote_max: 1 << 11,
+            yield_after: 24,
+        }
+    }
+}
+
+impl Default for HboParams {
+    fn default() -> Self {
+        Self::microbench_tuned()
+    }
+}
+
+/// The hierarchical backoff lock.
+#[derive(Debug)]
+pub struct HboLock {
+    word: CachePadded<AtomicU32>,
+    params: HboParams,
+    topo: Arc<Topology>,
+}
+
+impl HboLock {
+    /// Creates an HBO lock over `topo` with the default (microbenchmark)
+    /// tuning.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        Self::with_params(topo, HboParams::default())
+    }
+
+    /// Creates an HBO lock with explicit backoff windows.
+    pub fn with_params(topo: Arc<Topology>, params: HboParams) -> Self {
+        HboLock {
+            word: CachePadded::new(AtomicU32::new(FREE)),
+            params,
+            topo,
+        }
+    }
+
+    /// The active tuning profile.
+    pub fn params(&self) -> HboParams {
+        self.params
+    }
+
+    /// Core loop: probe, CAS, hierarchical backoff. `max_rounds == None`
+    /// blocks forever; `Some(n)` gives up after `n` backoff rounds
+    /// (A-HBO's abort: "simply returning a failure flag").
+    ///
+    /// Backoff windows are waited out in *elapsed* time with the CPU
+    /// yielded between clock probes (not burned in a spin): on dedicated
+    /// hardware the two are equivalent, and on an oversubscribed host a
+    /// burning spin would stall every other thread for the whole window.
+    /// The local/remote asymmetry — HBO's entire locality mechanism — is
+    /// preserved because it lives in the window *ratios*.
+    fn acquire(&self, max_rounds: Option<u32>) -> bool {
+        let me = current_cluster_in(&self.topo).as_u32();
+        let p = self.params;
+        let mut local_window = p.local_min;
+        let mut remote_window = p.remote_min;
+        let mut rounds = 0u32;
+        loop {
+            let w = self.word.load(Ordering::Relaxed);
+            if w == FREE
+                && self
+                    .word
+                    .compare_exchange(FREE, me, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return true;
+            }
+            if let Some(max) = max_rounds {
+                if rounds >= max {
+                    return false;
+                }
+            }
+            let window = if w == me {
+                // Holder is a cluster-mate: stay close, re-probe soon.
+                let win = local_window;
+                local_window = (local_window * 2).min(p.local_max);
+                win
+            } else {
+                // Remote holder: long backoff so its cluster keeps the
+                // line (this is what builds HBO's locality — and its
+                // unfairness).
+                let win = remote_window;
+                remote_window = (remote_window * 2).min(p.remote_max);
+                win
+            };
+            if rounds < p.yield_after {
+                spin_cycles(window.min(256));
+            } else {
+                // Treat the window as nanoseconds of elapsed wait.
+                let t0 = std::time::Instant::now();
+                while (t0.elapsed().as_nanos() as u64) < window as u64 {
+                    std::thread::yield_now();
+                }
+            }
+            rounds += 1;
+        }
+    }
+}
+
+// SAFETY: single-word CAS lock; release store pairs with acquire CAS.
+unsafe impl RawLock for HboLock {
+    type Token = ();
+
+    fn lock(&self) {
+        let ok = self.acquire(None);
+        debug_assert!(ok);
+    }
+
+    fn try_lock(&self) -> Option<()> {
+        let me = current_cluster_in(&self.topo).as_u32();
+        (self.word.load(Ordering::Relaxed) == FREE
+            && self
+                .word
+                .compare_exchange(FREE, me, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok())
+        .then_some(())
+    }
+
+    unsafe fn unlock(&self, _t: ()) {
+        self.word.store(FREE, Ordering::Release);
+    }
+}
+
+// SAFETY: aborting between probes leaves no trace in the lock word.
+unsafe impl RawAbortableLock for HboLock {
+    fn lock_with_patience(&self, patience_ns: u64) -> Option<()> {
+        // Convert patience to backoff rounds: each round costs at least
+        // `local_min` spin cycles (~1 ns each at worst); the deadline is
+        // also re-checked through rounds, keeping A-HBO's "just give up"
+        // simplicity.
+        let deadline =
+            std::time::Instant::now() + std::time::Duration::from_nanos(patience_ns);
+        loop {
+            if self.acquire(Some(8)) {
+                return Some(());
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            // Cede the CPU between bursts: on an oversubscribed host a
+            // non-yielding retry loop would starve the very holder we are
+            // waiting for and turn every attempt into a timeout.
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::new(4))
+    }
+
+    #[test]
+    fn mutual_exclusion() {
+        let l = Arc::new(HboLock::new(topo()));
+        let c = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        l.lock();
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                        unsafe { l.unlock(()) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 8_000);
+    }
+
+    #[test]
+    fn word_records_holder_cluster() {
+        let topo = topo();
+        numa_topology::bind_current_thread(&topo, numa_topology::ClusterId::new(2));
+        let l = HboLock::new(Arc::clone(&topo));
+        l.lock();
+        assert_eq!(l.word.load(Ordering::Relaxed), 2);
+        unsafe { l.unlock(()) };
+        assert_eq!(l.word.load(Ordering::Relaxed), FREE);
+        numa_topology::reset_thread_binding();
+    }
+
+    #[test]
+    fn abort_and_recover() {
+        let l = Arc::new(HboLock::new(topo()));
+        l.lock();
+        assert!(l.lock_with_patience(100_000).is_none());
+        unsafe { l.unlock(()) };
+        assert!(l.lock_with_patience(1_000_000_000).is_some());
+        unsafe { l.unlock(()) };
+    }
+
+    #[test]
+    fn tuned_profiles_differ() {
+        assert_ne!(HboParams::microbench_tuned(), HboParams::kvstore_tuned());
+    }
+}

@@ -1,0 +1,25 @@
+//! Prior NUMA-aware locks — the baselines of the paper's evaluation.
+//!
+//! The cohort-lock paper compares against three earlier NUMA-aware
+//! designs, all reimplemented here from their original papers:
+//!
+//! | Type | Origin | Character |
+//! |---|---|---|
+//! | [`HboLock`] | Radović & Hagersten, HPCA '03 | hierarchical backoff TATAS; simple, unfair, needs per-workload tuning ([`HboParams`]) |
+//! | [`HclhLock`] | Luchangco, Nussbaum, Shavit, Euro-Par '06 | per-cluster CLH queues spliced into a global CLH queue |
+//! | [`FcMcsLock`] | Dice, Marathe, Shavit, SPAA '11 | flat-combining collection into a global MCS queue; fastest prior lock, heaviest machinery |
+//!
+//! HBO doubles as the abortable baseline **A-HBO** (Figure 6) through
+//! [`base_locks::RawAbortableLock`]; the abortable CLH baseline (A-CLH)
+//! lives in `base_locks` as
+//! [`AbortableClhLock`](base_locks::AbortableClhLock).
+
+#![warn(missing_docs)]
+
+mod fcmcs;
+mod hbo;
+mod hclh;
+
+pub use fcmcs::{FcMcsLock, FcMcsToken};
+pub use hbo::{HboLock, HboParams};
+pub use hclh::{HclhLock, HclhNode, HclhToken};

@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks: uncontended acquire/release latency of every
+//! lock in the registry (real nanoseconds, meaningful on any host).
+//!
+//! This is the §4.1.3 concern measured directly: a cohort lock pays for
+//! two acquisitions on its uncontended path; the paper argues (and
+//! Figure 4 shows) that this overhead disappears under non-trivial
+//! critical sections. The numbers here quantify the raw overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbench::LockKind;
+use numa_topology::Topology;
+use std::sync::Arc;
+
+fn uncontended(c: &mut Criterion) {
+    let topo = Arc::new(Topology::new(4));
+    let mut g = c.benchmark_group("uncontended_acquire_release");
+    for kind in [
+        LockKind::Tatas,
+        LockKind::FibBo,
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Clh,
+        LockKind::Hbo,
+        LockKind::Hclh,
+        LockKind::FcMcs,
+        LockKind::CBoBo,
+        LockKind::CTktTkt,
+        LockKind::CBoMcs,
+        LockKind::CTktMcs,
+        LockKind::CMcsMcs,
+        LockKind::AClh,
+        LockKind::ACBoBo,
+        LockKind::ACBoClh,
+        LockKind::Pthread,
+    ] {
+        let lock = kind.make(&topo);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                lock.acquire();
+                lock.release();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn abortable_timeout_path(c: &mut Criterion) {
+    let topo = Arc::new(Topology::new(4));
+    let mut g = c.benchmark_group("abortable_uncontended_with_patience");
+    for kind in LockKind::FIG6 {
+        let lock = kind.make(&topo);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                assert!(lock.acquire_with_patience(1_000_000));
+                lock.release();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, uncontended, abortable_timeout_path);
+criterion_main!(benches);

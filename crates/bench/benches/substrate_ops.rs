@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks for the substrates: coherence-directory
+//! accesses, splay-tree operations, key-value store operations, and
+//! allocator malloc/free pairs.
+
+use cohort_alloc::{MiniAlloc, MiniAllocConfig, SplayTree};
+use cohort_kvstore::{KvConfig, KvStore};
+use coherence_sim::{CostModel, Directory};
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_topology::ClusterId;
+use std::sync::Arc;
+
+const C0: ClusterId = ClusterId::new(0);
+const C1: ClusterId = ClusterId::new(1);
+
+fn directory_ops(c: &mut Criterion) {
+    let dir = Directory::new(1024, CostModel::t5440());
+    let mut g = c.benchmark_group("directory");
+    g.bench_function("local_write_hit", |b| {
+        dir.write(0, C0);
+        b.iter(|| dir.write(0, C0))
+    });
+    g.bench_function("alternating_remote_write", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            dir.write(1, if flip { C0 } else { C1 })
+        })
+    });
+    g.finish();
+}
+
+fn splay_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("splay_tree");
+    g.bench_function("insert_remove_64", |b| {
+        let mut t = SplayTree::new();
+        for i in 0..64u64 {
+            t.insert(64, i * 128, &mut |_| {});
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = (i % 64) * 128;
+            t.remove(64, addr, &mut |_| {});
+            t.insert(64, addr, &mut |_| {});
+            i += 1;
+        })
+    });
+    g.bench_function("take_first_fit", |b| {
+        let mut t = SplayTree::new();
+        for i in 0..64u64 {
+            t.insert(64 + (i % 8) * 16, i * 1024, &mut |_| {});
+        }
+        b.iter(|| {
+            if let Some((s, a)) = t.take_first_fit(96, &mut |_| {}) {
+                t.insert(s, a, &mut |_| {});
+            }
+        })
+    });
+    g.finish();
+}
+
+fn kvstore_ops(c: &mut Criterion) {
+    let cfg = KvConfig::default();
+    let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+    let mut store = KvStore::new(cfg, dir);
+    for k in 0..4096u64 {
+        store.set(k, k, C0);
+    }
+    let mut g = c.benchmark_group("kvstore");
+    let mut k = 0u64;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            k = (k + 1) % 4096;
+            store.get(k, C0)
+        })
+    });
+    g.bench_function("set_update", |b| {
+        b.iter(|| {
+            k = (k + 1) % 4096;
+            store.set(k, k, C0)
+        })
+    });
+    g.finish();
+}
+
+fn allocator_ops(c: &mut Criterion) {
+    let cfg = MiniAllocConfig::default();
+    let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+    let mut a = MiniAlloc::new(cfg, dir);
+    let mut g = c.benchmark_group("allocator");
+    g.bench_function("malloc_free_64B", |b| {
+        b.iter(|| {
+            let p = a.malloc(64, C0).unwrap();
+            a.free(p, C0);
+        })
+    });
+    g.bench_function("malloc_free_small_24B", |b| {
+        b.iter(|| {
+            let p = a.malloc(24, C0).unwrap();
+            a.free(p, C0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, directory_ops, splay_ops, kvstore_ops, allocator_ops);
+criterion_main!(benches);

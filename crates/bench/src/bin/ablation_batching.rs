@@ -1,0 +1,51 @@
+//! Ablation B (§4.1.2): dynamic batch growth.
+//!
+//! The paper attributes cohort locks' miss rates to batches that *grow*
+//! with contention, in contrast to the static batches of HCLH/FC-MCS.
+//! This ablation prints the mean batch length per lock as the thread count
+//! grows, plus the full batch-length histogram at the top thread count.
+
+use cohort_bench::{base_config, thread_grid};
+use lbench::{run_lbench, LockKind};
+
+const LOCKS: [LockKind; 5] = [
+    LockKind::Mcs,
+    LockKind::Hclh,
+    LockKind::FcMcs,
+    LockKind::CBoMcs,
+    LockKind::CTktTkt,
+];
+
+fn main() {
+    eprintln!("ablation B: batch growth with contention");
+    println!("\n== Ablation B: mean same-cluster batch length ==");
+    print!("{:>8} ", "threads");
+    for k in LOCKS {
+        print!("{:>10} ", k.name());
+    }
+    println!();
+    let grid = thread_grid();
+    let mut last_hists = Vec::new();
+    for &threads in &grid {
+        print!("{threads:>8} ");
+        last_hists.clear();
+        for kind in LOCKS {
+            let r = run_lbench(kind, &base_config(threads));
+            print!("{:>10.1} ", r.mean_batch);
+            last_hists.push((kind, r.batch_hist.clone()));
+        }
+        println!();
+    }
+    if let Some(&top) = grid.last() {
+        println!("\nBatch-length histograms at {top} threads (bucket = [2^i, 2^(i+1))):");
+        for (kind, hist) in last_hists {
+            let trimmed: Vec<String> = hist
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, c)| format!("2^{i}:{c}"))
+                .collect();
+            println!("  {:>10}: {}", kind.name(), trimmed.join(" "));
+        }
+    }
+}

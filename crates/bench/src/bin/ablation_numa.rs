@@ -1,0 +1,41 @@
+//! Ablation C: how NUMA does the machine have to be?
+//!
+//! Sweeps the remote/local latency ratio of the cost model from 1×
+//! (uniform memory) to 16× and reports the cohort lock's advantage over
+//! MCS at a fixed thread count. The paper's premise — cohort locks win
+//! *because* remote accesses are expensive — predicts the advantage
+//! grows monotonically from ≈1× at uniform memory.
+
+use coherence_sim::CostModel;
+use lbench::{run_lbench, LBenchConfig, LockKind};
+
+fn main() {
+    let threads: usize = std::env::var("LBENCH_ABLATION_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    eprintln!("ablation C: remote/local ratio sweep, {threads} threads");
+    println!("\n== Ablation C: NUMA-ness vs cohort advantage ({threads} threads) ==");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "ratio", "MCS ops/s", "C-BO-MCS ops/s", "advantage"
+    );
+    for ratio in [1u64, 2, 4, 8, 16] {
+        let cost = CostModel::t5440_light().with_remote_ratio(ratio);
+        let mk = || LBenchConfig {
+            threads,
+            window_ns: cohort_bench::window_ns(),
+            cost,
+            ..Default::default()
+        };
+        let mcs = run_lbench(LockKind::Mcs, &mk());
+        let cohort = run_lbench(LockKind::CBoMcs, &mk());
+        println!(
+            "{:>7}x {:>14.0} {:>14.0} {:>9.2}x",
+            ratio,
+            mcs.throughput,
+            cohort.throughput,
+            cohort.throughput / mcs.throughput
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 2: LBench throughput (critical+non-critical pairs per second)
+//! versus thread count, for the nine non-abortable locks.
+//!
+//! Paper shape: MCS flat/worst; HBO/HCLH middle; FC-MCS best prior;
+//! cohort locks on top, C-BO-MCS leading (~60% over FC-MCS at high
+//! thread counts).
+
+use cohort_bench::{emit, sweep, Table};
+use lbench::LockKind;
+
+fn main() {
+    eprintln!("fig2: LBench throughput sweep ({} locks)", LockKind::FIG2.len());
+    let results = sweep(&LockKind::FIG2, None);
+    let table = Table::from_results(
+        "Figure 2: LBench throughput (ops/sec)",
+        &LockKind::FIG2,
+        &results,
+        0,
+        |r| r.throughput,
+    );
+    emit(&table, "fig2_throughput");
+}

@@ -1,0 +1,22 @@
+//! Figure 3: L2 coherence misses per critical section (log-scale in the
+//! paper), same run configuration as Figure 2.
+//!
+//! Paper shape: MCS highest (fair FIFO ⇒ a migration nearly every
+//! handoff); HBO good until high thread counts; HCLH high; FC-MCS degrades
+//! gradually; cohort locks lower than everything by 2× or more.
+
+use cohort_bench::{emit, sweep, Table};
+use lbench::LockKind;
+
+fn main() {
+    eprintln!("fig3: coherence misses per critical section");
+    let results = sweep(&LockKind::FIG2, None);
+    let table = Table::from_results(
+        "Figure 3: coherence misses per critical section",
+        &LockKind::FIG2,
+        &results,
+        3,
+        |r| r.misses_per_cs,
+    );
+    emit(&table, "fig3_misses_per_cs");
+}

@@ -1,0 +1,34 @@
+//! Figure 4: the low-contention zoom of Figure 2 (threads 1–16).
+//!
+//! Paper shape: despite the two-level acquisition, cohort locks stay
+//! competitive with single-level locks at low thread counts — the extra
+//! cost "withers away as background noise" next to the critical and
+//! non-critical work.
+
+use cohort_bench::{base_config, emit, Table};
+use lbench::{run_lbench, LockKind};
+
+fn main() {
+    eprintln!("fig4: low-contention throughput (1..16 threads)");
+    let mut results = Vec::new();
+    for &threads in &[1usize, 2, 4, 8, 12, 16] {
+        for &kind in &LockKind::FIG2 {
+            let cfg = base_config(threads);
+            let r = run_lbench(kind, &cfg);
+            eprintln!(
+                "  [{kind} t={threads}] {:.3}e6 ops/s ({:?} wall)",
+                r.throughput / 1e6,
+                r.wall
+            );
+            results.push(r);
+        }
+    }
+    let table = Table::from_results(
+        "Figure 4: low-contention throughput (ops/sec)",
+        &LockKind::FIG2,
+        &results,
+        0,
+        |r| r.throughput,
+    );
+    emit(&table, "fig4_low_contention");
+}

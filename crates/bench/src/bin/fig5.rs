@@ -1,0 +1,22 @@
+//! Figure 5: fairness — standard deviation of per-thread throughput as a
+//! percentage of the mean (lower = fairer), same runs as Figure 2.
+//!
+//! Paper shape: HBO by far the least fair (starvation); C-BO-MCS next
+//! (global BO arbitration unfairness); MCS/HCLH/FC-MCS/C-TKT-TKT well
+//! under 5%; cohort locks bounded by the 64-handoff policy.
+
+use cohort_bench::{emit, sweep, Table};
+use lbench::LockKind;
+
+fn main() {
+    eprintln!("fig5: fairness (stddev % of per-thread throughput)");
+    let results = sweep(&LockKind::FIG2, None);
+    let table = Table::from_results(
+        "Figure 5: per-thread throughput stddev (% of mean)",
+        &LockKind::FIG2,
+        &results,
+        1,
+        |r| r.stddev_pct,
+    );
+    emit(&table, "fig5_fairness");
+}

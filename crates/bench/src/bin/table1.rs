@@ -1,0 +1,74 @@
+//! Table 1: memcached-style key-value store scalability — speedup over
+//! the 1-thread pthread run, for read-heavy (90% get), mixed (50%) and
+//! write-heavy (10% get) mixes.
+//!
+//! Paper shape: read-heavy — every decent lock plateaus around the same
+//! Amdahl ceiling; write-heavy — NUMA-aware locks out-scale the oblivious
+//! ones by ≥20%, with untuned HBO and C-BO-BO lagging everywhere.
+
+use cohort_bench::{clusters, emit, thread_grid, window_ns, Table};
+use cohort_kvstore::workload::{run_kv, KvWorkload};
+use lbench::LockKind;
+use std::time::Duration;
+
+fn main() {
+    let grid: Vec<usize> = thread_grid().into_iter().filter(|&t| t <= 128).collect();
+    for &(get_pct, label) in &[(90u32, "90% gets / 10% sets"), (50, "50/50"), (10, "10% gets / 90% sets")] {
+        eprintln!("table1: mix {label}");
+        // Baseline: pthread at 1 thread.
+        let base = run_kv(
+            LockKind::Pthread,
+            &KvWorkload {
+                get_pct,
+                threads: 1,
+                clusters: clusters(),
+                window_ns: window_ns(),
+                max_wall: Duration::from_secs(30),
+                ..Default::default()
+            },
+        );
+        let base_thr = base.throughput.max(1.0);
+        let mut rows = Vec::new();
+        for &threads in &grid {
+            for &kind in &LockKind::TABLES {
+                let r = run_kv(
+                    kind,
+                    &KvWorkload {
+                        get_pct,
+                        threads,
+                        clusters: clusters(),
+                        window_ns: window_ns(),
+                        max_wall: Duration::from_secs(30),
+                        ..Default::default()
+                    },
+                );
+                eprintln!(
+                    "  [{kind} t={threads}] {:.2}x ({:.0} ops/s, {:?})",
+                    r.throughput / base_thr,
+                    r.throughput,
+                    r.wall
+                );
+                rows.push((threads, kind, r.throughput / base_thr));
+            }
+        }
+        let mut table = Table {
+            title: format!("Table 1 ({label}): speedup over 1-thread pthread"),
+            columns: LockKind::TABLES.iter().map(|k| k.name().to_string()).collect(),
+            rows: Vec::new(),
+            precision: 2,
+        };
+        for (threads, kind, v) in rows {
+            let col = LockKind::TABLES.iter().position(|&k| k == kind).unwrap();
+            match table.rows.iter_mut().find(|(t, _)| *t == threads) {
+                Some((_, vals)) => vals[col] = v,
+                None => {
+                    let mut vals = vec![f64::NAN; LockKind::TABLES.len()];
+                    vals[col] = v;
+                    table.rows.push((threads, vals));
+                }
+            }
+        }
+        table.rows.sort_by_key(|(t, _)| *t);
+        emit(&table, &format!("table1_get{get_pct}"));
+    }
+}

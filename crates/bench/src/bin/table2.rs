@@ -1,0 +1,44 @@
+//! Table 2: the mmicro allocator stress test — malloc-free pairs per
+//! millisecond under the single-lock libc-style allocator.
+//!
+//! Paper shape: non-cohort locks cap out around 2× the single-thread
+//! rate; cohort locks reach 5–6×, because lock batching keeps the splay
+//! tree's hot nodes and the recycled blocks inside one cluster.
+
+use cohort_bench::{clusters, emit, thread_grid, window_ns, Table};
+use cohort_alloc::workload::{run_mmicro, MmicroWorkload};
+use lbench::LockKind;
+use std::time::Duration;
+
+fn main() {
+    eprintln!("table2: mmicro malloc-free pairs per millisecond");
+    let grid = thread_grid();
+    let mut table = Table {
+        title: "Table 2: mmicro throughput (malloc-free pairs per ms)".into(),
+        columns: LockKind::TABLES.iter().map(|k| k.name().to_string()).collect(),
+        rows: Vec::new(),
+        precision: 0,
+    };
+    for &threads in &grid {
+        let mut vals = vec![f64::NAN; LockKind::TABLES.len()];
+        for (col, &kind) in LockKind::TABLES.iter().enumerate() {
+            let r = run_mmicro(
+                kind,
+                &MmicroWorkload {
+                    threads,
+                    clusters: clusters(),
+                    window_ns: window_ns(),
+                    max_wall: Duration::from_secs(30),
+                    ..Default::default()
+                },
+            );
+            eprintln!(
+                "  [{kind} t={threads}] {:.0} pairs/ms ({:?})",
+                r.pairs_per_ms, r.wall
+            );
+            vals[col] = r.pairs_per_ms;
+        }
+        table.rows.push((threads, vals));
+    }
+    emit(&table, "table2_mmicro");
+}

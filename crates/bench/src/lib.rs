@@ -1,0 +1,230 @@
+//! Shared machinery for the figure/table regeneration binaries.
+//!
+//! Every binary in this crate regenerates one exhibit of the paper's
+//! evaluation (see DESIGN.md §5 for the index). They share: environment
+//! configuration, the thread-count grid, sweep drivers over the
+//! [`lbench`] harness, and plain-text/CSV table rendering.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `LBENCH_THREADS` — comma-separated thread counts
+//!   (default `1,2,4,8,16,32,64`; the paper sweeps to 256 — set e.g.
+//!   `1,16,64,128,256` on a big host).
+//! * `LBENCH_WINDOW_MS` — virtual measurement window per cell in
+//!   milliseconds (default 10; the paper measured 60 s of wall time).
+//! * `LBENCH_CLUSTERS` — NUMA clusters (default 4, the T5440).
+//! * `RESULTS_DIR` — where CSV copies are written (default `results/`).
+
+use lbench::{run_lbench, LBenchConfig, LBenchResult, LockKind};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Thread-count grid for the sweeps.
+pub fn thread_grid() -> Vec<usize> {
+    std::env::var("LBENCH_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64])
+}
+
+/// Virtual measurement window per cell.
+pub fn window_ns() -> u64 {
+    let ms = std::env::var("LBENCH_WINDOW_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(10);
+    ms * 1_000_000
+}
+
+/// Cluster count (the T5440 had 4).
+pub fn clusters() -> usize {
+    std::env::var("LBENCH_CLUSTERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&c| (1..=32).contains(&c))
+        .unwrap_or(4)
+}
+
+/// The default LBench configuration for the figure sweeps.
+pub fn base_config(threads: usize) -> LBenchConfig {
+    LBenchConfig {
+        threads,
+        clusters: clusters(),
+        window_ns: window_ns(),
+        max_wall: Duration::from_secs(60),
+        ..Default::default()
+    }
+}
+
+/// Runs `locks × thread_grid()` and returns one result per cell, printing
+/// a progress line per row.
+pub fn sweep(locks: &[LockKind], patience_ns: Option<u64>) -> Vec<LBenchResult> {
+    let grid = thread_grid();
+    let mut out = Vec::with_capacity(locks.len() * grid.len());
+    for &threads in &grid {
+        for &kind in locks {
+            let mut cfg = base_config(threads);
+            cfg.patience_ns = patience_ns;
+            let r = run_lbench(kind, &cfg);
+            eprintln!(
+                "  [{kind} t={threads}] {:.3}e6 ops/s, {:.2} misses/CS, {:.1}% stddev, {} aborts ({:?} wall)",
+                r.throughput / 1e6,
+                r.misses_per_cs,
+                r.stddev_pct,
+                r.aborts,
+                r.wall
+            );
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// A rendered table: one row per thread count, one column per lock.
+pub struct Table {
+    /// Exhibit title, printed above the table.
+    pub title: String,
+    /// Column headers (lock names).
+    pub columns: Vec<String>,
+    /// (thread count, value per column).
+    pub rows: Vec<(usize, Vec<f64>)>,
+    /// Printed value precision.
+    pub precision: usize,
+}
+
+impl Table {
+    /// Builds a table from sweep results using `metric` to pick the value.
+    pub fn from_results(
+        title: &str,
+        locks: &[LockKind],
+        results: &[LBenchResult],
+        precision: usize,
+        metric: impl Fn(&LBenchResult) -> f64,
+    ) -> Table {
+        let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
+        for r in results {
+            let col = locks
+                .iter()
+                .position(|&k| k == r.kind)
+                .expect("result for unknown lock");
+            match rows.iter_mut().find(|(t, _)| *t == r.threads) {
+                Some((_, vals)) => vals[col] = metric(r),
+                None => {
+                    let mut vals = vec![f64::NAN; locks.len()];
+                    vals[col] = metric(r);
+                    rows.push((r.threads, vals));
+                }
+            }
+        }
+        rows.sort_by_key(|(t, _)| *t);
+        Table {
+            title: title.to_string(),
+            columns: locks.iter().map(|k| k.name().to_string()).collect(),
+            rows,
+            precision,
+        }
+    }
+
+    /// Renders the table as aligned plain text (rows ordered by thread
+    /// count regardless of insertion order).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("\n== {} ==\n", self.title));
+        let width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(8)
+            .max(10);
+        s.push_str(&format!("{:>8} ", "threads"));
+        for c in &self.columns {
+            s.push_str(&format!("{c:>width$} "));
+        }
+        s.push('\n');
+        let mut rows: Vec<_> = self.rows.iter().collect();
+        rows.sort_by_key(|(t, _)| *t);
+        for (t, vals) in rows {
+            s.push_str(&format!("{t:>8} "));
+            for v in vals {
+                if v.is_nan() {
+                    s.push_str(&format!("{:>width$} ", "-"));
+                } else {
+                    s.push_str(&format!("{:>width$.prec$} ", v, prec = self.precision));
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes the table as CSV into `RESULTS_DIR/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        std::fs::create_dir_all(&dir)?;
+        let path = PathBuf::from(dir).join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        write!(f, "threads")?;
+        for c in &self.columns {
+            write!(f, ",{c}")?;
+        }
+        writeln!(f)?;
+        for (t, vals) in &self.rows {
+            write!(f, "{t}")?;
+            for v in vals {
+                if v.is_nan() {
+                    write!(f, ",")?;
+                } else {
+                    write!(f, ",{:.prec$}", v, prec = self.precision)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(path)
+    }
+}
+
+/// Prints a table to stdout and saves the CSV, reporting where.
+pub fn emit(table: &Table, csv_name: &str) {
+    print!("{}", table.render());
+    match table.write_csv(csv_name) {
+        Ok(p) => println!("[csv written to {}]", p.display()),
+        Err(e) => eprintln!("[csv not written: {e}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_grid_default_is_sane() {
+        // (Env-dependent in principle; the default grid starts at 1.)
+        let g = thread_grid();
+        assert!(!g.is_empty());
+        assert!(g.iter().all(|&t| t >= 1));
+    }
+
+    #[test]
+    fn table_renders_and_orders_rows() {
+        let t = Table {
+            title: "demo".into(),
+            columns: vec!["A".into(), "B".into()],
+            rows: vec![(4, vec![1.5, 2.5]), (1, vec![0.5, f64::NAN])],
+            precision: 1,
+        };
+        let s = t.render();
+        assert!(s.contains("demo"));
+        let one = s.find("\n       1").unwrap();
+        let four = s.find("\n       4").unwrap();
+        assert!(one < four, "rows must be sorted by thread count:\n{s}");
+        assert!(s.contains('-'), "NaN renders as dash");
+    }
+}

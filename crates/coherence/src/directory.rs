@@ -1,0 +1,325 @@
+//! The per-line coherence directory.
+
+use crate::model::CostModel;
+use crate::stats;
+use numa_topology::{vclock, ClusterId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum number of clusters the directory can track (sharer masks are 32
+/// bits wide; the paper's machine has 4 clusters).
+pub const MAX_DIR_CLUSTERS: usize = 32;
+
+const OWNER_NONE: u64 = 0xFF;
+
+// Packed line encoding: bits 0..32 sharer mask, 32..40 owner, 40..42 state.
+const ST_INVALID: u64 = 0;
+const ST_SHARED: u64 = 1;
+const ST_MODIFIED: u64 = 2;
+
+#[inline]
+fn pack(state: u64, owner: u64, sharers: u32) -> u64 {
+    (state << 40) | (owner << 32) | sharers as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u64, u64, u32) {
+    ((v >> 40) & 0b11, (v >> 32) & 0xFF, v as u32)
+}
+
+/// Decoded state of one simulated cache line (for tests and debugging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// Never touched (or invalidated everywhere).
+    Invalid,
+    /// Clean copies in every cluster whose bit is set.
+    Shared {
+        /// Bitmask of clusters holding a copy.
+        sharers: u32,
+    },
+    /// Dirty in exactly one cluster's cache.
+    Modified {
+        /// Cluster holding the only (dirty) copy.
+        owner: ClusterId,
+    },
+}
+
+/// A directory of simulated cache lines with a MESI-flavoured protocol at
+/// **cluster granularity**.
+///
+/// Within a cluster all cores share the L2 on the modelled machine, so the
+/// model does not distinguish cores: an access is *local* (cheap) when the
+/// line already lives in the calling thread's cluster and *remote*
+/// (expensive, counted as a coherence miss) when it must be transferred
+/// from another cluster. Every access:
+///
+/// 1. updates the packed line state with a single CAS loop,
+/// 2. advances the calling thread's [virtual clock](numa_topology::vclock)
+///    by the modelled latency, and
+/// 3. bumps the thread-local [`ThreadStats`](crate::ThreadStats).
+///
+/// The directory word is *cost bookkeeping*, not a synchronization
+/// mechanism, so `Relaxed` ordering suffices throughout.
+pub struct Directory {
+    lines: Vec<AtomicU64>,
+    model: CostModel,
+}
+
+impl Directory {
+    /// Creates a directory of `lines` simulated cache lines, all Invalid.
+    pub fn new(lines: usize, model: CostModel) -> Self {
+        let mut v = Vec::with_capacity(lines);
+        v.resize_with(lines, || AtomicU64::new(pack(ST_INVALID, OWNER_NONE, 0)));
+        Directory { lines: v, model }
+    }
+
+    /// Number of simulated lines.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if the directory has no lines.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The latency model in use.
+    #[inline]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Invalidates every line (between benchmark runs).
+    pub fn reset(&self) {
+        for l in &self.lines {
+            l.store(pack(ST_INVALID, OWNER_NONE, 0), Ordering::Relaxed);
+        }
+    }
+
+    /// Simulates a load of `line` from `cluster`; returns the charged
+    /// nanoseconds (also already added to the thread's virtual clock).
+    pub fn read(&self, line: usize, cluster: ClusterId) -> u64 {
+        debug_assert!(cluster.as_usize() < MAX_DIR_CLUSTERS);
+        let me = 1u32 << cluster.as_u32();
+        let mut remote = false;
+        let mut cold = false;
+        self.update(line, |state, owner, sharers| match state {
+            ST_INVALID => {
+                remote = false;
+                cold = true;
+                pack(ST_SHARED, OWNER_NONE, me)
+            }
+            ST_SHARED => {
+                if sharers & me != 0 {
+                    remote = false;
+                    cold = false;
+                    pack(ST_SHARED, OWNER_NONE, sharers)
+                } else {
+                    remote = true;
+                    cold = false;
+                    pack(ST_SHARED, OWNER_NONE, sharers | me)
+                }
+            }
+            _ => {
+                if owner == cluster.as_u32() as u64 {
+                    remote = false;
+                    cold = false;
+                    pack(ST_MODIFIED, owner, sharers)
+                } else {
+                    // Dirty in another cluster: transfer + demote to shared.
+                    remote = true;
+                    cold = false;
+                    pack(ST_SHARED, OWNER_NONE, (1u32 << owner) | me)
+                }
+            }
+        });
+        self.charge(remote, cold)
+    }
+
+    /// Simulates a store to `line` from `cluster`; returns the charged
+    /// nanoseconds (also already added to the thread's virtual clock).
+    pub fn write(&self, line: usize, cluster: ClusterId) -> u64 {
+        debug_assert!(cluster.as_usize() < MAX_DIR_CLUSTERS);
+        let me = 1u32 << cluster.as_u32();
+        let owner_me = cluster.as_u32() as u64;
+        let mut remote = false;
+        let mut cold = false;
+        self.update(line, |state, owner, sharers| match state {
+            ST_INVALID => {
+                remote = false;
+                cold = true;
+                pack(ST_MODIFIED, owner_me, me)
+            }
+            ST_SHARED => {
+                // Upgrade: silent if we are the only sharer, otherwise the
+                // invalidation of remote copies is a cross-cluster round.
+                remote = sharers & !me != 0;
+                cold = false;
+                pack(ST_MODIFIED, owner_me, me)
+            }
+            _ => {
+                if owner == owner_me {
+                    remote = false;
+                    cold = false;
+                    pack(ST_MODIFIED, owner, sharers)
+                } else {
+                    remote = true;
+                    cold = false;
+                    pack(ST_MODIFIED, owner_me, me)
+                }
+            }
+        });
+        self.charge(remote, cold)
+    }
+
+    /// Reads or writes a contiguous range of lines; returns total charged ns.
+    pub fn access_range(&self, first: usize, count: usize, cluster: ClusterId, write: bool) -> u64 {
+        let mut total = 0;
+        for l in first..first + count {
+            total += if write {
+                self.write(l, cluster)
+            } else {
+                self.read(l, cluster)
+            };
+        }
+        total
+    }
+
+    /// Decoded state of `line` (test/debug aid).
+    pub fn state_of(&self, line: usize) -> LineState {
+        let (state, owner, sharers) = unpack(self.lines[line].load(Ordering::Relaxed));
+        match state {
+            ST_INVALID => LineState::Invalid,
+            ST_SHARED => LineState::Shared { sharers },
+            _ => LineState::Modified {
+                owner: ClusterId::new(owner as u32),
+            },
+        }
+    }
+
+    #[inline]
+    fn update(&self, line: usize, mut f: impl FnMut(u64, u64, u32) -> u64) {
+        let cell = &self.lines[line];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let (state, owner, sharers) = unpack(cur);
+            let next = f(state, owner, sharers);
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    #[inline]
+    fn charge(&self, remote: bool, cold: bool) -> u64 {
+        let ns = if remote {
+            self.model.remote_ns
+        } else if cold {
+            self.model.cold_ns
+        } else {
+            self.model.local_ns
+        };
+        vclock::advance(ns);
+        stats::record(remote, cold, ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::take_thread_stats;
+
+    fn dir() -> Directory {
+        Directory::new(8, CostModel::t5440())
+    }
+
+    const C0: ClusterId = ClusterId::new(0);
+    const C1: ClusterId = ClusterId::new(1);
+    const C2: ClusterId = ClusterId::new(2);
+
+    #[test]
+    fn first_touch_is_cold_then_local() {
+        let d = dir();
+        take_thread_stats();
+        assert_eq!(d.write(0, C0), d.model().cold_ns);
+        assert_eq!(d.write(0, C0), d.model().local_ns);
+        let s = take_thread_stats();
+        assert_eq!(s.cold_misses, 1);
+        assert_eq!(s.remote_misses, 0);
+    }
+
+    #[test]
+    fn remote_write_is_a_coherence_miss() {
+        let d = dir();
+        d.write(0, C0);
+        take_thread_stats();
+        assert_eq!(d.write(0, C1), d.model().remote_ns);
+        assert_eq!(take_thread_stats().remote_misses, 1);
+        assert_eq!(d.state_of(0), LineState::Modified { owner: C1 });
+    }
+
+    #[test]
+    fn read_demotes_modified_to_shared() {
+        let d = dir();
+        d.write(0, C0);
+        d.read(0, C1); // remote miss, line now shared by {0,1}
+        assert_eq!(d.state_of(0), LineState::Shared { sharers: 0b11 });
+        take_thread_stats();
+        // Both clusters now read locally.
+        assert_eq!(d.read(0, C0), d.model().local_ns);
+        assert_eq!(d.read(0, C1), d.model().local_ns);
+        assert_eq!(take_thread_stats().remote_misses, 0);
+    }
+
+    #[test]
+    fn silent_upgrade_when_sole_sharer() {
+        let d = dir();
+        d.read(0, C2); // cold, shared by {2}
+        take_thread_stats();
+        assert_eq!(d.write(0, C2), d.model().local_ns);
+        assert_eq!(take_thread_stats().remote_misses, 0);
+        assert_eq!(d.state_of(0), LineState::Modified { owner: C2 });
+    }
+
+    #[test]
+    fn upgrade_with_other_sharers_invalidates_remotely() {
+        let d = dir();
+        d.read(0, C0);
+        d.read(0, C1);
+        take_thread_stats();
+        assert_eq!(d.write(0, C0), d.model().remote_ns);
+        assert_eq!(take_thread_stats().remote_misses, 1);
+        assert_eq!(d.state_of(0), LineState::Modified { owner: C0 });
+    }
+
+    #[test]
+    fn access_range_sums_charges() {
+        let d = dir();
+        let ns = d.access_range(0, 4, C0, true);
+        assert_eq!(ns, 4 * d.model().cold_ns);
+    }
+
+    #[test]
+    fn vclock_advances_with_charges() {
+        let d = dir();
+        numa_topology::vclock::reset();
+        d.write(3, C0);
+        d.write(3, C1);
+        assert_eq!(
+            numa_topology::vclock::now(),
+            d.model().cold_ns + d.model().remote_ns
+        );
+        numa_topology::vclock::reset();
+    }
+
+    #[test]
+    fn reset_invalidates() {
+        let d = dir();
+        d.write(0, C0);
+        d.reset();
+        assert_eq!(d.state_of(0), LineState::Invalid);
+    }
+}

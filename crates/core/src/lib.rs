@@ -1,0 +1,327 @@
+//! # Lock cohorting — NUMA-aware locks by composition
+//!
+//! This crate implements the general transformation of **Dice, Marathe,
+//! Shavit, "Lock Cohorting: A General Technique for Designing NUMA Locks"
+//! (PPoPP 2012)**: take any *thread-oblivious* lock `G` and any
+//! *cohort-detecting* lock `L`, instantiate one `L` per NUMA cluster plus
+//! a single shared `G`, and obtain a NUMA-aware lock
+//! ([`CohortLock<G, L>`]) that hands ownership between threads of the same
+//! cluster at local-lock cost, releasing the global lock only when the
+//! cluster runs dry or a fairness bound ([`PassPolicy`]) fires.
+//!
+//! All seven compositions evaluated in the paper are provided under their
+//! paper names:
+//!
+//! | Alias | Global | Local | § |
+//! |---|---|---|---|
+//! | [`CBoBo`]   | BO (no backoff) | BO + `successor-exists` | 3.1 |
+//! | [`CTktTkt`] | ticket | ticket + `top-granted` | 3.2 |
+//! | [`CBoMcs`]  | BO | MCS, tri-state handoff | 3.3 |
+//! | [`CMcsMcs`] | MCS (pooled nodes) | MCS | 3.4 |
+//! | [`CTktMcs`] | ticket | MCS | 3.5 |
+//! | [`AcBoBo`]  | BO | abortable BO | 3.6.1 |
+//! | [`AcBoClh`] | BO | abortable CLH, colocated flag | 3.6.2 |
+//!
+//! Every cohort lock implements [`base_locks::RawLock`] (and the abortable
+//! ones [`base_locks::RawAbortableLock`]), so the [`CohortMutex`] RAII
+//! wrapper — an alias for [`base_locks::SpinMutex`] — works uniformly:
+//!
+//! ```
+//! use cohort::{CBoMcs, CohortMutex};
+//! use numa_topology::Topology;
+//! use std::sync::Arc;
+//!
+//! // 4 virtual NUMA clusters (the paper's machine geometry).
+//! let topo = Arc::new(Topology::new(4));
+//! let counter: Arc<CohortMutex<u64, CBoMcs>> =
+//!     Arc::new(CohortMutex::with_lock(CBoMcs::new(topo), 0));
+//!
+//! let handles: Vec<_> = (0..8)
+//!     .map(|_| {
+//!         let c = Arc::clone(&counter);
+//!         std::thread::spawn(move || {
+//!             for _ in 0..1000 {
+//!                 *c.lock() += 1;
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(*counter.lock(), 8000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod abortable;
+mod global;
+mod local_abo;
+mod local_aclh;
+mod local_bo;
+mod local_mcs;
+mod local_ticket;
+mod lock;
+mod policy;
+mod traits;
+
+pub use global::GlobalBoLock;
+pub use local_abo::LocalAboLock;
+pub use local_aclh::{AClhToken, LocalAClhLock};
+pub use local_bo::LocalBoLock;
+pub use local_mcs::{CohortMcsToken, LocalMcsLock};
+pub use local_ticket::LocalTicketLock;
+pub use lock::{CohortLock, CohortToken};
+pub use policy::PassPolicy;
+pub use traits::{
+    AbortableGlobalLock, AbortableLocalCohortLock, GlobalLock, LocalAbortResult, LocalCohortLock,
+    Release,
+};
+
+use base_locks::{McsLock, SpinMutex, TicketLock};
+
+/// C-BO-BO (§3.1): global BO lock, local BO locks with `successor-exists`.
+pub type CBoBo = CohortLock<GlobalBoLock, LocalBoLock>;
+
+/// C-TKT-TKT (§3.2): ticket locks at both levels, `top-granted` handoff.
+pub type CTktTkt = CohortLock<TicketLock, LocalTicketLock>;
+
+/// C-BO-MCS (§3.3, Figure 1): global BO lock, local MCS queues.
+pub type CBoMcs = CohortLock<GlobalBoLock, LocalMcsLock>;
+
+/// C-TKT-MCS (§3.5): "the best of C-TKT-TKT and C-MCS-MCS".
+pub type CTktMcs = CohortLock<TicketLock, LocalMcsLock>;
+
+/// C-MCS-MCS (§3.4): MCS at both levels; the global side circulates queue
+/// nodes through pools to become thread-oblivious.
+pub type CMcsMcs = CohortLock<McsLock, LocalMcsLock>;
+
+/// A-C-BO-BO (§3.6.1): the abortable C-BO-BO.
+pub type AcBoBo = CohortLock<GlobalBoLock, LocalAboLock>;
+
+/// A-C-BO-CLH (§3.6.2): abortable CLH cohorts under a global BO lock —
+/// the paper's flagship abortable NUMA lock.
+pub type AcBoClh = CohortLock<GlobalBoLock, LocalAClhLock>;
+
+/// RAII mutex over a cohort lock: `CohortMutex<T, CBoMcs>` etc.
+pub type CohortMutex<T, CL> = SpinMutex<T, CL>;
+
+/// C-PARK-MCS: a **spin-then-block** cohort lock — the §2.1 aside made
+/// concrete. The global lock parks its waiters (one per cluster at most),
+/// while intra-cluster handoffs stay pure spin; threads block only when
+/// their whole cluster is out of work.
+pub type CParkMcs = CohortLock<base_locks::ParkingLock, LocalMcsLock>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use base_locks::RawLock;
+    use numa_topology::Topology;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn stress<CL: RawLock + 'static>(lock: CL, threads: usize, iters: u64) {
+        let lock = Arc::new(lock);
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        let t = lock.lock();
+                        let va = a.load(Ordering::Relaxed);
+                        let vb = b.load(Ordering::Relaxed);
+                        assert_eq!(va, vb, "mutual exclusion violated");
+                        a.store(va + 1, Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        b.store(vb + 1, Ordering::Relaxed);
+                        unsafe { lock.unlock(t) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::Relaxed), threads as u64 * iters);
+    }
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::new(4))
+    }
+
+    #[test]
+    fn c_bo_bo_mutual_exclusion() {
+        stress(CBoBo::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn c_tkt_tkt_mutual_exclusion() {
+        stress(CTktTkt::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn c_bo_mcs_mutual_exclusion() {
+        stress(CBoMcs::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn c_tkt_mcs_mutual_exclusion() {
+        stress(CTktMcs::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn c_mcs_mcs_mutual_exclusion() {
+        stress(CMcsMcs::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn a_c_bo_bo_mutual_exclusion() {
+        stress(AcBoBo::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn a_c_bo_clh_mutual_exclusion() {
+        stress(AcBoClh::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn c_park_mcs_mutual_exclusion() {
+        // The blocking-global composition.
+        stress(CParkMcs::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn single_cluster_topology_works() {
+        // Degenerate geometry: the cohort lock must still be correct.
+        stress(CBoMcs::new(Arc::new(Topology::new(1))), 4, 1_000);
+    }
+
+    #[test]
+    fn many_cluster_topology_works() {
+        stress(CTktTkt::new(Arc::new(Topology::new(8))), 8, 400);
+    }
+
+    #[test]
+    fn try_lock_roundtrip() {
+        let l = CBoMcs::new(topo());
+        let t = l.try_lock().expect("free");
+        assert!(l.try_lock().is_none());
+        unsafe { l.unlock(t) };
+        let t = l.lock();
+        unsafe { l.unlock(t) };
+    }
+
+    #[test]
+    fn abortable_cohort_times_out_and_recovers() {
+        let l = Arc::new(AcBoClh::new(topo()));
+        let t = l.lock();
+        assert!(l.lock_with_patience(200_000).is_none());
+        unsafe { l.unlock(t) };
+        let t = l.lock_with_patience(1_000_000_000).expect("free now");
+        unsafe { l.unlock(t) };
+    }
+
+    #[test]
+    fn abortable_bo_stress_with_mixed_patience() {
+        let l = Arc::new(AcBoBo::new(topo()));
+        let count = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let l = Arc::clone(&l);
+                let count = Arc::clone(&count);
+                std::thread::spawn(move || {
+                    let mut mine = 0u64;
+                    for _ in 0..400 {
+                        let tok = if i % 2 == 0 {
+                            l.lock_with_patience(30_000)
+                        } else {
+                            Some(l.lock())
+                        };
+                        if let Some(t) = tok {
+                            count.fetch_add(1, Ordering::Relaxed);
+                            mine += 1;
+                            unsafe { l.unlock(t) };
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, count.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn abortable_clh_stress_with_mixed_patience() {
+        let l = Arc::new(AcBoClh::new(topo()));
+        let count = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let l = Arc::clone(&l);
+                let count = Arc::clone(&count);
+                std::thread::spawn(move || {
+                    for _ in 0..400 {
+                        let tok = if i % 2 == 0 {
+                            l.lock_with_patience(30_000)
+                        } else {
+                            Some(l.lock())
+                        };
+                        if let Some(t) = tok {
+                            count.fetch_add(1, Ordering::Relaxed);
+                            unsafe { l.unlock(t) };
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Lock still functional after the storm.
+        let t = l.lock();
+        unsafe { l.unlock(t) };
+    }
+
+    #[test]
+    fn cohort_mutex_api() {
+        let topo = topo();
+        let m: CohortMutex<Vec<u32>, CTktMcs> =
+            CohortMutex::with_lock(CTktMcs::new(topo), Vec::new());
+        m.lock().push(1);
+        m.lock().push(2);
+        assert_eq!(*m.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn default_uses_global_topology() {
+        let l = CBoBo::default();
+        let t = l.lock();
+        unsafe { l.unlock(t) };
+        assert_eq!(
+            l.topology().clusters(),
+            numa_topology::global_topology().clusters()
+        );
+    }
+
+    #[test]
+    fn never_pass_policy_forces_global_every_time() {
+        // With NeverPass, consecutive acquisitions from one thread must
+        // each re-acquire the global lock (streak never grows). Indirectly
+        // observable: the lock still works and stays fair.
+        let l = CBoMcs::with_policy(topo(), PassPolicy::NeverPass);
+        for _ in 0..100 {
+            let t = l.lock();
+            unsafe { l.unlock(t) };
+        }
+    }
+
+    #[test]
+    fn pass_policy_accessor() {
+        let l = CBoBo::with_policy(topo(), PassPolicy::Count { bound: 7 });
+        assert_eq!(l.policy(), PassPolicy::Count { bound: 7 });
+    }
+}

@@ -1,0 +1,158 @@
+//! Cohort-detecting ticket local lock — §3.2.
+//!
+//! Cohort detection comes free with a ticket lock: while holding ticket
+//! `t` (so `grant == t`), cluster-mates are waiting iff `request > t + 1`.
+//! Local handoff uses the paper's `top-granted` field: the releaser sets
+//! it before incrementing `grant`; the next owner finds it set, learns it
+//! inherited the global lock, and resets it (footnote 3).
+
+use crate::traits::{LocalCohortLock, Release};
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The local ticket lock of C-TKT-TKT and C-TKT-MCS.
+#[derive(Debug, Default)]
+pub struct LocalTicketLock {
+    request: CachePadded<AtomicU64>,
+    grant: CachePadded<AtomicU64>,
+    top_granted: CachePadded<AtomicBool>,
+}
+
+impl LocalTicketLock {
+    /// Creates a free lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn consume_top_granted(&self) -> Release {
+        // The new owner checks whether the previous one passed the global
+        // lock along, and resets the marker (it is per-handoff).
+        if self.top_granted.load(Ordering::Relaxed) {
+            self.top_granted.store(false, Ordering::Relaxed);
+            Release::Local
+        } else {
+            Release::Global
+        }
+    }
+}
+
+// SAFETY: a ticket lock admits exactly one holder per grant value; the
+// `alone?` predicate (`request != t + 1`) can only claim company when a
+// request counter increment — made by a thread that, being non-abortable,
+// will wait for its turn — has happened.
+unsafe impl LocalCohortLock for LocalTicketLock {
+    /// The ticket number (needed to advance `grant` on release).
+    type Token = u64;
+
+    fn lock_local(&self) -> (u64, Release) {
+        let me = self.request.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u32;
+        loop {
+            let g = self.grant.load(Ordering::Acquire);
+            if g == me {
+                break;
+            }
+            // Proportional backoff, as in the base ticket lock; yield
+            // often so grant holders get scheduled under oversubscription.
+            base_locks::backoff::spin_cycles((me.wrapping_sub(g).min(64) as u32) * 8);
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(4) {
+                std::thread::yield_now();
+            }
+        }
+        (me, self.consume_top_granted())
+    }
+
+    fn try_lock_local(&self) -> Option<(u64, Release)> {
+        let g = self.grant.load(Ordering::Acquire);
+        self.request
+            .compare_exchange(g, g + 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|me| (me, self.consume_top_granted()))
+    }
+
+    fn alone(&self, me: &u64) -> bool {
+        // While we hold ticket `me`, waiters exist iff further requests
+        // were issued (§3.2: "determine if the request and grant counters
+        // match").
+        self.request.load(Ordering::Relaxed) == me + 1
+    }
+
+    unsafe fn unlock_local(&self, me: u64, pass_local: bool, release_global: impl FnOnce()) {
+        debug_assert_eq!(self.grant.load(Ordering::Relaxed), me);
+        if pass_local && !self.alone(&me) {
+            // Inform the next-in-line that it inherits the global lock,
+            // *then* open the gate.
+            self.top_granted.store(true, Ordering::Relaxed);
+            self.grant.store(me + 1, Ordering::Release);
+        } else {
+            release_global();
+            self.grant.store(me + 1, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_acquire_is_global() {
+        let l = LocalTicketLock::new();
+        let (t, r) = l.lock_local();
+        assert_eq!(r, Release::Global);
+        assert!(l.alone(&t));
+        unsafe { l.unlock_local(t, false, || {}) };
+    }
+
+    #[test]
+    fn top_granted_transfers_and_resets() {
+        let l = Arc::new(LocalTicketLock::new());
+        let (t, _) = l.lock_local();
+        // A waiter queues up from another thread.
+        let l2 = Arc::clone(&l);
+        let waiter = std::thread::spawn(move || {
+            let (t2, r2) = l2.lock_local();
+            assert_eq!(r2, Release::Local, "waiter should inherit");
+            // The marker must have been consumed.
+            assert!(!l2.top_granted.load(Ordering::Relaxed));
+            unsafe { l2.unlock_local(t2, false, || {}) };
+        });
+        while l.alone(&t) {
+            std::hint::spin_loop();
+        }
+        let mut released = false;
+        unsafe { l.unlock_local(t, true, || released = true) };
+        waiter.join().unwrap();
+        assert!(!released);
+    }
+
+    #[test]
+    fn alone_reflects_queue() {
+        let l = Arc::new(LocalTicketLock::new());
+        let (t, _) = l.lock_local();
+        assert!(l.alone(&t));
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            let (t2, _) = l2.lock_local();
+            unsafe { l2.unlock_local(t2, false, || {}) };
+        });
+        while l.alone(&t) {
+            std::hint::spin_loop();
+        }
+        assert!(!l.alone(&t));
+        unsafe { l.unlock_local(t, false, || {}) };
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn try_lock_local_only_when_front() {
+        let l = LocalTicketLock::new();
+        let (t, _) = l.try_lock_local().expect("free");
+        assert!(l.try_lock_local().is_none());
+        unsafe { l.unlock_local(t, false, || {}) };
+        assert!(l.try_lock_local().is_some());
+    }
+}

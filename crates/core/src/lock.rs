@@ -1,0 +1,275 @@
+//! The generic cohort lock — the paper's §2 transformation as one type.
+
+use crate::policy::PassPolicy;
+use crate::traits::{GlobalLock, LocalCohortLock, Release};
+use base_locks::RawLock;
+use crossbeam_utils::CachePadded;
+use numa_topology::{current_cluster_in, global_topology, ClusterId, Topology};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// Holder-private state of a cohort lock.
+///
+/// Both fields are only ever touched by the thread currently inside the
+/// cohort lock's critical section, which is what makes the `UnsafeCell`
+/// sound: the global token is stashed by whichever cohort member acquired
+/// the global lock and taken by whichever member eventually releases it
+/// (thread-obliviousness in action), and the streak counter implements the
+/// `may-pass-local` bound.
+struct HolderState<GT> {
+    global_token: Option<GT>,
+    streak: u64,
+}
+
+/// Per-acquisition token of a [`CohortLock`].
+pub struct CohortToken<LT> {
+    cluster: ClusterId,
+    local: LT,
+}
+
+impl<LT> CohortToken<LT> {
+    /// The cluster this acquisition ran on.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+}
+
+/// A NUMA-aware lock built from any thread-oblivious global lock `G` and
+/// any cohort-detecting local lock `L` — the lock cohorting transformation
+/// of Dice, Marathe and Shavit (PPoPP 2012), §2.
+///
+/// One instance of `L` exists per NUMA cluster (cache-line padded); `G` is
+/// shared. A thread first acquires its cluster's local lock; the state the
+/// previous owner left there says whether the cohort still owns `G`
+/// ([`Release::Local`]) or `G` must be (re-)acquired ([`Release::Global`]).
+/// On release, the [`PassPolicy`] and the local lock's `alone?` predicate
+/// decide between a cheap intra-cluster handoff and a global release.
+///
+/// Ready-made compositions carry the paper's names: [`CBoBo`],
+/// [`CTktTkt`], [`CBoMcs`], [`CTktMcs`], [`CMcsMcs`].
+///
+/// [`CBoBo`]: crate::CBoBo
+/// [`CTktTkt`]: crate::CTktTkt
+/// [`CBoMcs`]: crate::CBoMcs
+/// [`CTktMcs`]: crate::CTktMcs
+/// [`CMcsMcs`]: crate::CMcsMcs
+pub struct CohortLock<G: GlobalLock, L: LocalCohortLock> {
+    topo: Arc<Topology>,
+    global: G,
+    locals: Box<[CachePadded<L>]>,
+    holder: UnsafeCell<HolderState<G::Token>>,
+    policy: PassPolicy,
+}
+
+// SAFETY: `holder` is only accessed while holding the lock (see
+// HolderState docs); everything else is Sync by construction.
+unsafe impl<G: GlobalLock, L: LocalCohortLock> Send for CohortLock<G, L> {}
+unsafe impl<G: GlobalLock, L: LocalCohortLock> Sync for CohortLock<G, L> {}
+
+impl<G, L> CohortLock<G, L>
+where
+    G: GlobalLock + Default,
+    L: LocalCohortLock + Default,
+{
+    /// Creates a cohort lock over `topo` with the paper's default policy
+    /// (64 consecutive local handoffs).
+    pub fn new(topo: Arc<Topology>) -> Self {
+        Self::with_policy(topo, PassPolicy::paper_default())
+    }
+
+    /// Creates a cohort lock with an explicit fairness policy.
+    pub fn with_policy(topo: Arc<Topology>, policy: PassPolicy) -> Self {
+        let locals = (0..topo.clusters())
+            .map(|_| CachePadded::new(L::default()))
+            .collect();
+        CohortLock {
+            topo,
+            global: G::default(),
+            locals,
+            holder: UnsafeCell::new(HolderState {
+                global_token: None,
+                streak: 0,
+            }),
+            policy,
+        }
+    }
+}
+
+impl<G: GlobalLock + Default, L: LocalCohortLock + Default> Default for CohortLock<G, L> {
+    /// Uses the process-wide [`global_topology`].
+    fn default() -> Self {
+        Self::new(global_topology())
+    }
+}
+
+impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
+    /// The topology this lock partitions threads by.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The fairness policy in effect.
+    pub fn policy(&self) -> PassPolicy {
+        self.policy
+    }
+
+    /// Acquire path shared by `lock` and `try_lock` once the local lock is
+    /// held: reconcile with the global lock according to the inherited
+    /// release state.
+    ///
+    /// SAFETY: caller holds the local lock of `cluster`.
+    #[inline]
+    unsafe fn finish_acquire(&self, inherited: Release) {
+        match inherited {
+            Release::Local => {
+                // The cohort already owns the global lock; the token is in
+                // the stash. Extend the tenure. (Holder access is sound:
+                // the local handoff's release/acquire edge ordered the
+                // previous owner's stash writes before us.)
+                let holder = &mut *self.holder.get();
+                debug_assert!(
+                    holder.global_token.is_some(),
+                    "local release without global token"
+                );
+                holder.streak += 1;
+            }
+            Release::Global => {
+                // Acquire the global lock *before* touching holder state:
+                // until then the previous tenure may still be accessing
+                // the stash from its release closure. G's release/acquire
+                // edge is what hands us exclusive holder access.
+                let g = self.global.lock();
+                let holder = &mut *self.holder.get();
+                debug_assert!(holder.global_token.is_none(), "stale global token");
+                holder.global_token = Some(g);
+                holder.streak = 0;
+            }
+        }
+    }
+
+    /// The local lock instance of `cluster` (crate-internal plumbing for
+    /// the abortable extension).
+    pub(crate) fn local_of(&self, cluster: ClusterId) -> &L {
+        &self.locals[cluster.as_usize()]
+    }
+
+    /// The global lock (crate-internal plumbing).
+    pub(crate) fn global_ref(&self) -> &G {
+        &self.global
+    }
+
+    /// Builds a token (crate-internal plumbing).
+    pub(crate) fn assemble_token(&self, cluster: ClusterId, local: L::Token) -> CohortToken<L::Token> {
+        CohortToken { cluster, local }
+    }
+
+    /// Records a Release::Local inheritance (streak bump).
+    ///
+    /// SAFETY: caller holds the local lock after inheriting Local state.
+    pub(crate) unsafe fn note_local_inheritance(&self) {
+        self.finish_acquire(Release::Local);
+    }
+
+    /// Stashes a freshly acquired global token and resets the streak.
+    ///
+    /// SAFETY: caller holds the local lock and just acquired the global.
+    pub(crate) unsafe fn stash_global(&self, g: G::Token) {
+        let holder = &mut *self.holder.get();
+        debug_assert!(holder.global_token.is_none(), "stale global token");
+        holder.global_token = Some(g);
+        holder.streak = 0;
+    }
+
+    /// Releases the lock; factored out so abortable variants can reuse it.
+    ///
+    /// SAFETY: `token` stems from this lock's acquire path, used once, on
+    /// the acquiring thread.
+    pub(crate) unsafe fn release(&self, token: CohortToken<L::Token>) {
+        let local = &self.locals[token.cluster.as_usize()];
+        // Read the streak while still holding (holder-private).
+        let streak = (*self.holder.get()).streak;
+        let pass = self.policy.may_pass_local(streak);
+        local.unlock_local(token.local, pass, || {
+            // SAFETY: still holding; unique access to the stash. Taking a
+            // fresh &mut here (rather than capturing one) keeps borrows
+            // disjoint from the streak read above.
+            let holder = &mut *self.holder.get();
+            let g = holder
+                .global_token
+                .take()
+                .expect("cohort invariant: global token present at global release");
+            self.global.unlock(g);
+        });
+    }
+}
+
+// SAFETY: mutual exclusion = conjunction of local and global exclusion as
+// proven in §2 of the paper: entering requires the local lock plus either
+// a Release::Local inheritance (global lock retained by the cohort) or a
+// fresh global acquisition; deadlock-freedom follows from `alone?` having
+// no false negatives for non-abortable locals.
+unsafe impl<G: GlobalLock, L: LocalCohortLock> RawLock for CohortLock<G, L> {
+    type Token = CohortToken<L::Token>;
+
+    fn lock(&self) -> Self::Token {
+        let cluster = current_cluster_in(&self.topo);
+        let local = &self.locals[cluster.as_usize()];
+        let (ltok, inherited) = local.lock_local();
+        // SAFETY: we hold the local lock.
+        unsafe { self.finish_acquire(inherited) };
+        CohortToken {
+            cluster,
+            local: ltok,
+        }
+    }
+
+    fn try_lock(&self) -> Option<Self::Token> {
+        let cluster = current_cluster_in(&self.topo);
+        let local = &self.locals[cluster.as_usize()];
+        let (ltok, inherited) = local.try_lock_local()?;
+        match inherited {
+            Release::Local => {
+                // SAFETY: holding the local lock.
+                unsafe { self.finish_acquire(Release::Local) };
+                Some(CohortToken {
+                    cluster,
+                    local: ltok,
+                })
+            }
+            Release::Global => match self.global.try_lock() {
+                Some(g) => {
+                    // SAFETY: holding the local lock; stash directly.
+                    unsafe {
+                        let holder = &mut *self.holder.get();
+                        holder.global_token = Some(g);
+                        holder.streak = 0;
+                    }
+                    Some(CohortToken {
+                        cluster,
+                        local: ltok,
+                    })
+                }
+                None => {
+                    // Undo the local acquisition; the global lock was
+                    // never ours, so the closure must be a no-op.
+                    // SAFETY: ltok is ours, used once.
+                    unsafe { local.unlock_local(ltok, false, || {}) };
+                    None
+                }
+            },
+        }
+    }
+
+    unsafe fn unlock(&self, token: Self::Token) {
+        self.release(token);
+    }
+}
+
+impl<G: GlobalLock, L: LocalCohortLock> std::fmt::Debug for CohortLock<G, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CohortLock")
+            .field("clusters", &self.locals.len())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}

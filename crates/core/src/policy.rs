@@ -1,0 +1,79 @@
+//! The `may-pass-local` fairness policy (§2.1, §3.7).
+//!
+//! A cohort lock trades fairness for locality: the longer one cluster
+//! keeps the global lock, the fewer lock migrations, but the longer remote
+//! clusters starve. The paper bounds consecutive local handoffs by a
+//! constant — **64** in all of its experiments — and reports (§4.1.1) that
+//! unbounded handoff buys only ~10% throughput while allowing batches of
+//! hundreds of thousands.
+
+/// Decides whether a releaser may hand the lock to a cluster-mate, given
+/// how many consecutive local handoffs the current cohort tenure has
+/// already performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassPolicy {
+    /// Allow up to `bound` consecutive local handoffs, then force a global
+    /// release. The paper's policy, with `bound = 64`.
+    Count {
+        /// Maximum consecutive local handoffs per cohort tenure.
+        bound: u64,
+    },
+    /// Never bound the cohort (the "deeply unfair" variant of §3.7; used
+    /// by the handoff ablation).
+    Unbounded,
+    /// Never pass locally: every release is a global release. Degenerates
+    /// the cohort lock into its global lock plus overhead; useful as a
+    /// sanity baseline.
+    NeverPass,
+}
+
+impl PassPolicy {
+    /// The paper's configuration (bound of 64 local handoffs).
+    pub const fn paper_default() -> Self {
+        PassPolicy::Count { bound: 64 }
+    }
+
+    /// May a releaser hand off locally after `streak` consecutive local
+    /// handoffs in the current tenure?
+    #[inline]
+    pub fn may_pass_local(&self, streak: u64) -> bool {
+        match *self {
+            PassPolicy::Count { bound } => streak < bound,
+            PassPolicy::Unbounded => true,
+            PassPolicy::NeverPass => false,
+        }
+    }
+}
+
+impl Default for PassPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_policy_bounds_streak() {
+        let p = PassPolicy::Count { bound: 3 };
+        assert!(p.may_pass_local(0));
+        assert!(p.may_pass_local(2));
+        assert!(!p.may_pass_local(3));
+        assert!(!p.may_pass_local(100));
+    }
+
+    #[test]
+    fn default_is_paper_bound() {
+        assert_eq!(PassPolicy::default(), PassPolicy::Count { bound: 64 });
+        assert!(PassPolicy::default().may_pass_local(63));
+        assert!(!PassPolicy::default().may_pass_local(64));
+    }
+
+    #[test]
+    fn degenerate_policies() {
+        assert!(PassPolicy::Unbounded.may_pass_local(u64::MAX));
+        assert!(!PassPolicy::NeverPass.may_pass_local(0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Object-safe lock interface for the benchmark harness.
+//!
+//! The evaluation sweeps ~19 lock algorithms with heterogeneous token
+//! types. [`BenchLock`] erases the token: the adapter stashes it in a slot
+//! that only the current holder touches (the same holder-private-state
+//! argument the cohort lock itself uses for its global token).
+
+use base_locks::{RawAbortableLock, RawLock};
+use std::cell::UnsafeCell;
+
+/// A lock as the benchmark harness sees it: acquire/release, optionally
+/// with a timeout.
+pub trait BenchLock: Send + Sync {
+    /// Acquires the lock (blocking).
+    fn acquire(&self);
+
+    /// Releases the lock (must be called by the current holder).
+    fn release(&self);
+
+    /// Tries to acquire with a timeout; `true` on success. Locks without
+    /// abort support simply block (and return `true`).
+    fn acquire_with_patience(&self, patience_ns: u64) -> bool {
+        let _ = patience_ns;
+        self.acquire();
+        true
+    }
+
+    /// Whether `acquire_with_patience` can actually time out.
+    fn is_abortable(&self) -> bool {
+        false
+    }
+}
+
+/// Adapts any [`RawLock`] to [`BenchLock`].
+pub struct RawAdapter<L: RawLock> {
+    lock: L,
+    /// Token of the in-flight acquisition. Only the holder reads/writes
+    /// it, bracketed by the lock's own acquire/release fences.
+    slot: UnsafeCell<Option<L::Token>>,
+}
+
+// SAFETY: the slot is holder-private (see field docs).
+unsafe impl<L: RawLock> Send for RawAdapter<L> {}
+unsafe impl<L: RawLock> Sync for RawAdapter<L> {}
+
+impl<L: RawLock> RawAdapter<L> {
+    /// Wraps `lock`.
+    pub fn new(lock: L) -> Self {
+        RawAdapter {
+            lock,
+            slot: UnsafeCell::new(None),
+        }
+    }
+
+    /// The wrapped lock (for instrumentation).
+    pub fn inner(&self) -> &L {
+        &self.lock
+    }
+}
+
+impl<L: RawLock> BenchLock for RawAdapter<L> {
+    fn acquire(&self) {
+        let token = self.lock.lock();
+        // SAFETY: we hold the lock; the slot is ours.
+        unsafe { *self.slot.get() = Some(token) };
+    }
+
+    fn release(&self) {
+        // SAFETY: holder-private slot; token present by protocol.
+        let token = unsafe { (*self.slot.get()).take() }.expect("release without acquire");
+        // SAFETY: token from our own lock().
+        unsafe { self.lock.unlock(token) };
+    }
+}
+
+/// Adapts any [`RawAbortableLock`] to an abortable [`BenchLock`].
+pub struct AbortableAdapter<L: RawAbortableLock> {
+    lock: L,
+    slot: UnsafeCell<Option<L::Token>>,
+}
+
+// SAFETY: as RawAdapter.
+unsafe impl<L: RawAbortableLock> Send for AbortableAdapter<L> {}
+unsafe impl<L: RawAbortableLock> Sync for AbortableAdapter<L> {}
+
+impl<L: RawAbortableLock> AbortableAdapter<L> {
+    /// Wraps `lock`.
+    pub fn new(lock: L) -> Self {
+        AbortableAdapter {
+            lock,
+            slot: UnsafeCell::new(None),
+        }
+    }
+}
+
+impl<L: RawAbortableLock> BenchLock for AbortableAdapter<L> {
+    fn acquire(&self) {
+        let token = self.lock.lock();
+        // SAFETY: holder-private slot.
+        unsafe { *self.slot.get() = Some(token) };
+    }
+
+    fn release(&self) {
+        // SAFETY: holder-private slot.
+        let token = unsafe { (*self.slot.get()).take() }.expect("release without acquire");
+        // SAFETY: token from our own lock.
+        unsafe { self.lock.unlock(token) };
+    }
+
+    fn acquire_with_patience(&self, patience_ns: u64) -> bool {
+        match self.lock.lock_with_patience(patience_ns) {
+            Some(token) => {
+                // SAFETY: holder-private slot.
+                unsafe { *self.slot.get() = Some(token) };
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn is_abortable(&self) -> bool {
+        true
+    }
+}
+
+/// The "pthread lock" of the evaluation: a blocking OS mutex
+/// (parking_lot's futex-based `RawMutex`, standing in for Solaris
+/// `pthread_mutex_t` — both park waiters in the kernel instead of
+/// spinning, and both are NUMA-oblivious).
+pub struct PthreadLock {
+    raw: parking_lot::RawMutex,
+}
+
+impl Default for PthreadLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PthreadLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        use parking_lot::lock_api::RawMutex as _;
+        PthreadLock {
+            raw: parking_lot::RawMutex::INIT,
+        }
+    }
+}
+
+impl BenchLock for PthreadLock {
+    fn acquire(&self) {
+        use parking_lot::lock_api::RawMutex as _;
+        self.raw.lock();
+    }
+
+    fn release(&self) {
+        use parking_lot::lock_api::RawMutex as _;
+        // SAFETY: harness protocol — release only by the holder.
+        unsafe { self.raw.unlock() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use base_locks::{BackoffLock, McsLock};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn hammer(lock: Arc<dyn BenchLock>, threads: usize, iters: u64) -> u64 {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        lock.acquire();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        counter.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn raw_adapter_over_mcs() {
+        let n = hammer(Arc::new(RawAdapter::new(McsLock::new())), 4, 1_000);
+        assert_eq!(n, 4_000);
+    }
+
+    #[test]
+    fn pthread_lock_works() {
+        let n = hammer(Arc::new(PthreadLock::new()), 4, 1_000);
+        assert_eq!(n, 4_000);
+    }
+
+    #[test]
+    fn abortable_adapter_times_out() {
+        let a = Arc::new(AbortableAdapter::new(BackoffLock::new()));
+        a.acquire();
+        assert!(!a.acquire_with_patience(100_000));
+        a.release();
+        assert!(a.acquire_with_patience(1_000_000_000));
+        a.release();
+        assert!(a.is_abortable());
+    }
+
+    #[test]
+    fn non_abortable_default_blocks_and_succeeds() {
+        let a = RawAdapter::new(McsLock::new());
+        assert!(!a.is_abortable());
+        assert!(a.acquire_with_patience(1));
+        a.release();
+    }
+}

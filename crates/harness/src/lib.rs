@@ -1,0 +1,31 @@
+//! # LBench — the microbenchmark harness of the evaluation
+//!
+//! Reimplements the paper's LBench (§4.1): N threads hammer one central
+//! lock, each critical section writes two shared cache lines, each
+//! non-critical section idles up to 4 µs, and the run reports aggregate
+//! throughput, per-thread fairness, lock migrations, coherence misses per
+//! critical section, and (in abortable mode) abort rates — i.e. every
+//! metric behind Figures 2–6.
+//!
+//! Three pieces:
+//!
+//! * [`BenchLock`] + adapters — all ~19 lock algorithms behind one
+//!   object-safe interface (including `pthread` as a parking-lot futex
+//!   mutex);
+//! * [`LockKind`] — the registry mapping the paper's lock names to
+//!   constructors, with the exact lock sets of each figure/table;
+//! * [`run_lbench`] — the measurement loop, in virtual-time mode
+//!   (hardware-independent, see DESIGN.md §2) or wall mode (for real
+//!   NUMA boxes).
+
+#![warn(missing_docs)]
+
+mod bench_lock;
+pub mod pace;
+mod registry;
+mod runner;
+pub mod stats;
+
+pub use bench_lock::{AbortableAdapter, BenchLock, PthreadLock, RawAdapter};
+pub use registry::LockKind;
+pub use runner::{run_lbench, run_lbench_on, LBenchConfig, LBenchResult, Placement, TimeMode};

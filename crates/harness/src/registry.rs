@@ -1,0 +1,209 @@
+//! The lock registry: every algorithm of the evaluation behind one name.
+
+use crate::bench_lock::{AbortableAdapter, BenchLock, PthreadLock, RawAdapter};
+use cohort::{AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt};
+use numa_baselines::{FcMcsLock, HboLock, HboParams, HclhLock};
+use numa_topology::Topology;
+use std::sync::Arc;
+
+/// Every lock algorithm the paper's evaluation mentions, by its name
+/// there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum LockKind {
+    // NUMA-oblivious baselines.
+    Pthread,
+    Tatas,
+    FibBo,
+    Ticket,
+    Mcs,
+    Clh,
+    // Prior NUMA-aware locks.
+    Hbo,
+    HboTuned,
+    Hclh,
+    FcMcs,
+    // Cohort locks (the paper's contribution).
+    CBoBo,
+    CTktTkt,
+    CBoMcs,
+    CTktMcs,
+    CMcsMcs,
+    // Abortable locks (Figure 6).
+    AClh,
+    AHbo,
+    ACBoBo,
+    ACBoClh,
+}
+
+impl LockKind {
+    /// The name used in the paper's figures and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockKind::Pthread => "pthread",
+            LockKind::Tatas => "TATAS",
+            LockKind::FibBo => "Fib-BO",
+            LockKind::Ticket => "Ticket",
+            LockKind::Mcs => "MCS",
+            LockKind::Clh => "CLH",
+            LockKind::Hbo => "HBO",
+            LockKind::HboTuned => "HBO (tuned)",
+            LockKind::Hclh => "HCLH",
+            LockKind::FcMcs => "FC-MCS",
+            LockKind::CBoBo => "C-BO-BO",
+            LockKind::CTktTkt => "C-TKT-TKT",
+            LockKind::CBoMcs => "C-BO-MCS",
+            LockKind::CTktMcs => "C-TKT-MCS",
+            LockKind::CMcsMcs => "C-MCS-MCS",
+            LockKind::AClh => "A-CLH",
+            LockKind::AHbo => "A-HBO",
+            LockKind::ACBoBo => "A-C-BO-BO",
+            LockKind::ACBoClh => "A-C-BO-CLH",
+        }
+    }
+
+    /// Whether this is one of the paper's cohort locks.
+    pub fn is_cohort(self) -> bool {
+        matches!(
+            self,
+            LockKind::CBoBo
+                | LockKind::CTktTkt
+                | LockKind::CBoMcs
+                | LockKind::CTktMcs
+                | LockKind::CMcsMcs
+                | LockKind::ACBoBo
+                | LockKind::ACBoClh
+        )
+    }
+
+    /// Instantiates the lock over `topo`.
+    pub fn make(self, topo: &Arc<Topology>) -> Arc<dyn BenchLock> {
+        match self {
+            LockKind::Pthread => Arc::new(PthreadLock::new()),
+            LockKind::Tatas => Arc::new(RawAdapter::new(base_locks::TatasLock::new())),
+            LockKind::FibBo => Arc::new(RawAdapter::new(base_locks::FibBackoffLock::new())),
+            LockKind::Ticket => Arc::new(RawAdapter::new(base_locks::TicketLock::new())),
+            LockKind::Mcs => Arc::new(RawAdapter::new(base_locks::McsLock::new())),
+            LockKind::Clh => Arc::new(RawAdapter::new(base_locks::ClhLock::new())),
+            LockKind::Hbo => Arc::new(RawAdapter::new(HboLock::with_params(
+                Arc::clone(topo),
+                HboParams::microbench_tuned(),
+            ))),
+            LockKind::HboTuned => Arc::new(RawAdapter::new(HboLock::with_params(
+                Arc::clone(topo),
+                HboParams::kvstore_tuned(),
+            ))),
+            LockKind::Hclh => Arc::new(RawAdapter::new(HclhLock::new(Arc::clone(topo)))),
+            LockKind::FcMcs => Arc::new(RawAdapter::new(FcMcsLock::new(Arc::clone(topo)))),
+            LockKind::CBoBo => Arc::new(RawAdapter::new(CBoBo::new(Arc::clone(topo)))),
+            LockKind::CTktTkt => Arc::new(RawAdapter::new(CTktTkt::new(Arc::clone(topo)))),
+            LockKind::CBoMcs => Arc::new(RawAdapter::new(CBoMcs::new(Arc::clone(topo)))),
+            LockKind::CTktMcs => Arc::new(RawAdapter::new(CTktMcs::new(Arc::clone(topo)))),
+            LockKind::CMcsMcs => Arc::new(RawAdapter::new(CMcsMcs::new(Arc::clone(topo)))),
+            LockKind::AClh => {
+                Arc::new(AbortableAdapter::new(base_locks::AbortableClhLock::new()))
+            }
+            LockKind::AHbo => Arc::new(AbortableAdapter::new(HboLock::with_params(
+                Arc::clone(topo),
+                HboParams::microbench_tuned(),
+            ))),
+            LockKind::ACBoBo => Arc::new(AbortableAdapter::new(AcBoBo::new(Arc::clone(topo)))),
+            LockKind::ACBoClh => Arc::new(AbortableAdapter::new(AcBoClh::new(Arc::clone(topo)))),
+        }
+    }
+
+    /// The nine locks of Figures 2–5.
+    pub const FIG2: [LockKind; 9] = [
+        LockKind::Mcs,
+        LockKind::Hbo,
+        LockKind::Hclh,
+        LockKind::FcMcs,
+        LockKind::CBoBo,
+        LockKind::CTktTkt,
+        LockKind::CBoMcs,
+        LockKind::CTktMcs,
+        LockKind::CMcsMcs,
+    ];
+
+    /// The four abortable locks of Figure 6.
+    pub const FIG6: [LockKind; 4] = [
+        LockKind::AClh,
+        LockKind::AHbo,
+        LockKind::ACBoBo,
+        LockKind::ACBoClh,
+    ];
+
+    /// The eleven lock columns of Tables 1 and 2.
+    pub const TABLES: [LockKind; 11] = [
+        LockKind::Pthread,
+        LockKind::FibBo,
+        LockKind::Mcs,
+        LockKind::Hbo,
+        LockKind::HboTuned,
+        LockKind::FcMcs,
+        LockKind::CBoBo,
+        LockKind::CTktTkt,
+        LockKind::CBoMcs,
+        LockKind::CTktMcs,
+        LockKind::CMcsMcs,
+    ];
+}
+
+impl std::fmt::Display for LockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_constructs_and_locks() {
+        let topo = Arc::new(Topology::new(4));
+        let all = [
+            LockKind::Pthread,
+            LockKind::Tatas,
+            LockKind::FibBo,
+            LockKind::Ticket,
+            LockKind::Mcs,
+            LockKind::Clh,
+            LockKind::Hbo,
+            LockKind::HboTuned,
+            LockKind::Hclh,
+            LockKind::FcMcs,
+            LockKind::CBoBo,
+            LockKind::CTktTkt,
+            LockKind::CBoMcs,
+            LockKind::CTktMcs,
+            LockKind::CMcsMcs,
+            LockKind::AClh,
+            LockKind::AHbo,
+            LockKind::ACBoBo,
+            LockKind::ACBoClh,
+        ];
+        for kind in all {
+            let lock = kind.make(&topo);
+            lock.acquire();
+            lock.release();
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn fig6_locks_are_abortable() {
+        let topo = Arc::new(Topology::new(4));
+        for kind in LockKind::FIG6 {
+            assert!(kind.make(&topo).is_abortable(), "{kind} must abort");
+        }
+    }
+
+    #[test]
+    fn cohort_classification() {
+        assert!(LockKind::CBoMcs.is_cohort());
+        assert!(LockKind::ACBoClh.is_cohort());
+        assert!(!LockKind::FcMcs.is_cohort());
+        assert!(!LockKind::Hbo.is_cohort());
+    }
+}

@@ -1,0 +1,462 @@
+//! The LBench microbenchmark runner (§4.1 of the paper).
+//!
+//! Each thread loops: acquire the central lock → write the shared cache
+//! lines (two, in the paper) → release → idle for a random non-critical
+//! period (up to 4 µs). The run ends when any thread's **virtual clock**
+//! crosses the measurement window (or a wall-clock safety net fires).
+//!
+//! Time accounting (virtual mode — see DESIGN.md §2): critical-section
+//! data accesses are charged through the coherence [`Directory`], the lock
+//! handoff through the [`HandoffChannel`], and the non-critical section as
+//! a plain clock advance. The lock algorithms themselves run for real on
+//! real threads; only *time* is modelled, which is what lets a 1-CPU CI
+//! container reproduce a 256-thread NUMA machine's throughput *shapes*.
+//!
+//! In wall mode the same loop runs with real time everywhere (for use on
+//! actual multi-socket hardware).
+
+use crate::bench_lock::BenchLock;
+use crate::pace::{kappa_for, spin_wall};
+use crate::registry::LockKind;
+use coherence_sim::{take_thread_stats, CostModel, Directory, HandoffChannel};
+use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// How threads are laid out over clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Thread `i` on cluster `i % clusters` (spread, the default — matches
+    /// an OS scheduler distributing threads over sockets).
+    RoundRobin,
+    /// Fill cluster 0 first, then cluster 1, … (taskset-style packing).
+    Blocked,
+}
+
+/// Whether time is modelled (virtual) or measured (wall).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Virtual clocks + coherence cost model (default; hardware-independent).
+    Virtual,
+    /// Real time; requires actually-parallel hardware to be meaningful.
+    Wall,
+}
+
+/// LBench parameters. Defaults reproduce the paper's setup: 2 cache lines
+/// written per critical section, ≤4 µs non-critical work, 4 clusters.
+#[derive(Clone, Debug)]
+pub struct LBenchConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// NUMA clusters (virtual).
+    pub clusters: usize,
+    /// Measurement window in (virtual or wall) nanoseconds.
+    pub window_ns: u64,
+    /// Shared cache lines written inside the critical section.
+    pub cs_lines: usize,
+    /// Extra modelled compute inside the critical section (the 8 counter
+    /// increments of the paper, beyond the line transfers themselves).
+    pub cs_extra_ns: u64,
+    /// Upper bound of the uniformly-random non-critical section.
+    pub noncs_max_ns: u64,
+    /// Extra scheduler yields performed *while holding* the lock (virtual
+    /// mode only); rarely needed once `pace_wall` is on. Set to 0 on
+    /// really-parallel hardware.
+    pub cs_yields: u32,
+    /// Wall-pacing (virtual mode only, default on): every virtual delay —
+    /// the critical section and the non-critical section — is also waited
+    /// out for the same number of *wall* nanoseconds (yielding while
+    /// waiting). This keeps the real execution's arrival order consistent
+    /// with virtual ready times, which matters twice on an oversubscribed
+    /// host: (a) FIFO queue locks otherwise admit threads whose virtual
+    /// non-critical section has not elapsed yet, stalling the virtual
+    /// handoff chain on order inversions, and (b) a TATAS releaser
+    /// otherwise instantly re-wins the acquisition race and degenerates
+    /// into single-thread lock hogging. With pacing, contention (queue
+    /// depth, batch composition) forms in real time exactly when the
+    /// modelled load would form it.
+    pub pace_wall: bool,
+    /// Multiplier applied to every paced duration (`None` = auto-scale
+    /// with the thread count). Pacing must out-scale the host's scheduler
+    /// round — with T yielding threads on one CPU a "round" costs roughly
+    /// T×switch-latency — or the paced waits all collapse to one round and
+    /// the modelled utilization ratio is lost. Scaling CS and non-CS by
+    /// the same κ preserves the ratio that determines queue depth.
+    pub pace_scale: Option<u64>,
+    /// Memory-system latency model.
+    pub cost: CostModel,
+    /// Thread layout.
+    pub placement: Placement,
+    /// `Some(patience)` switches to abortable acquisition (Figure 6).
+    pub patience_ns: Option<u64>,
+    /// Wall-clock safety net: the run is cut off after this much real time
+    /// regardless of virtual progress.
+    pub max_wall: Duration,
+    /// Virtual or wall time.
+    pub mode: TimeMode,
+}
+
+impl Default for LBenchConfig {
+    fn default() -> Self {
+        LBenchConfig {
+            threads: 4,
+            clusters: 4,
+            window_ns: 20_000_000, // 20 ms virtual
+            cs_lines: 2,
+            cs_extra_ns: 16,
+            noncs_max_ns: 4_000,
+            cs_yields: 0,
+            pace_wall: true,
+            pace_scale: None,
+            cost: CostModel::t5440(),
+            placement: Placement::RoundRobin,
+            patience_ns: None,
+            max_wall: Duration::from_secs(20),
+            mode: TimeMode::Virtual,
+        }
+    }
+}
+
+/// Everything one LBench run measures.
+#[derive(Clone, Debug)]
+pub struct LBenchResult {
+    /// Lock under test.
+    pub kind: LockKind,
+    /// Thread count of the run.
+    pub threads: usize,
+    /// Critical sections completed, per thread (fairness data, Figure 5).
+    pub per_thread_ops: Vec<u64>,
+    /// Total critical sections completed.
+    pub total_ops: u64,
+    /// Critical+non-critical pairs per second of modelled time (Figure 2).
+    pub throughput: f64,
+    /// Lock acquisitions observed by the handoff channel.
+    pub acquisitions: u64,
+    /// Cross-cluster lock migrations.
+    pub migrations: u64,
+    /// Coherence misses per critical section — data lines plus the lock
+    /// handoff itself (Figure 3).
+    pub misses_per_cs: f64,
+    /// Mean same-cluster batch length (§4.1.2's dynamic batching).
+    pub mean_batch: f64,
+    /// Timed-out acquisitions (abortable mode).
+    pub aborts: u64,
+    /// aborts / attempts (the paper keeps this below 1%).
+    pub abort_rate: f64,
+    /// Standard deviation of per-thread throughput as % of mean (Figure 5).
+    pub stddev_pct: f64,
+    /// Power-of-two histogram of same-cluster batch lengths (bucket i
+    /// counts batches of length in [2^i, 2^(i+1)); §4.1.2's batching).
+    pub batch_hist: Vec<u64>,
+    /// Real time the run took (diagnostics only).
+    pub wall: Duration,
+}
+
+fn cluster_for(i: usize, cfg: &LBenchConfig) -> ClusterId {
+    match cfg.placement {
+        Placement::RoundRobin => ClusterId::new((i % cfg.clusters) as u32),
+        Placement::Blocked => {
+            let per = cfg.threads.div_ceil(cfg.clusters).max(1);
+            ClusterId::new(((i / per).min(cfg.clusters - 1)) as u32)
+        }
+    }
+}
+
+/// Runs LBench for `kind` under `cfg`.
+pub fn run_lbench(kind: LockKind, cfg: &LBenchConfig) -> LBenchResult {
+    let topo = Arc::new(Topology::new(cfg.clusters));
+    let lock = kind.make(&topo);
+    run_lbench_on(kind, lock, topo, cfg)
+}
+
+/// Runs LBench against an already-constructed lock (used by ablations that
+/// build cohort locks with non-default policies).
+pub fn run_lbench_on(
+    kind: LockKind,
+    lock: Arc<dyn BenchLock>,
+    topo: Arc<Topology>,
+    cfg: &LBenchConfig,
+) -> LBenchResult {
+    assert!(cfg.threads >= 1);
+    let dir = Arc::new(Directory::new(cfg.cs_lines.max(1), cfg.cost));
+    let handoff = Arc::new(HandoffChannel::new(cfg.cost));
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads));
+    let started = Instant::now();
+
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|i| {
+            let topo = Arc::clone(&topo);
+            let lock = Arc::clone(&lock);
+            let dir = Arc::clone(&dir);
+            let handoff = Arc::clone(&handoff);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let my_cluster = cluster_for(i, &cfg);
+                bind_current_thread(&topo, my_cluster);
+                vclock::reset();
+                take_thread_stats();
+                let mut rng = StdRng::seed_from_u64(0x5EED ^ i as u64);
+                // Pacing multiplier (see pace_scale docs).
+                let kappa = if cfg.pace_wall && cfg.mode == TimeMode::Virtual {
+                    cfg.pace_scale.unwrap_or_else(|| kappa_for(cfg.threads))
+                } else {
+                    1
+                };
+                let mut ops = 0u64;
+                let mut aborts = 0u64;
+                barrier.wait();
+                let wall_start = Instant::now();
+                let mut check = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    // Acquire (possibly abortable).
+                    match cfg.patience_ns {
+                        None => lock.acquire(),
+                        Some(p) => {
+                            // Patience is virtual; scale it into the paced
+                            // wall-time frame the waiters experience.
+                            if !lock.acquire_with_patience(p * kappa) {
+                                aborts += 1;
+                                if cfg.mode == TimeMode::Virtual {
+                                    // The wait itself consumed the patience.
+                                    vclock::advance(p);
+                                    if vclock::now() >= cfg.window_ns {
+                                        stop.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                    }
+
+                    // ----- critical section -----
+                    match cfg.mode {
+                        TimeMode::Virtual => {
+                            handoff.on_acquire(my_cluster);
+                            // Measure only the critical-section work, not
+                            // the queue-wait catch-up on_acquire applied.
+                            let cs_start = vclock::now();
+                            for line in 0..cfg.cs_lines {
+                                dir.write(line, my_cluster);
+                            }
+                            vclock::advance(cfg.cs_extra_ns);
+                            if cfg.pace_wall {
+                                // Hold the lock for κ× the modelled CS
+                                // duration of wall time, *yielding* while
+                                // holding: on an oversubscribed host this
+                                // is the window in which other workers get
+                                // to run, observe the held lock, and
+                                // enqueue — i.e. where real queue depth
+                                // and batch composition form.
+                                let charged = vclock::now().saturating_sub(cs_start);
+                                spin_wall((charged * kappa).min(50_000), true);
+                            }
+                            for _ in 0..cfg.cs_yields {
+                                std::thread::yield_now();
+                            }
+                            if vclock::now() >= cfg.window_ns {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            handoff.on_release(my_cluster);
+                        }
+                        TimeMode::Wall => {
+                            handoff.on_acquire(my_cluster);
+                            // Touch real shared state so the hardware does
+                            // the coherence work.
+                            for line in 0..cfg.cs_lines {
+                                dir.write(line, my_cluster);
+                            }
+                            handoff.on_release(my_cluster);
+                        }
+                    }
+                    lock.release();
+                    ops += 1;
+
+                    // ----- non-critical section -----
+                    let idle = rng.gen_range(0..=cfg.noncs_max_ns);
+                    match cfg.mode {
+                        TimeMode::Virtual => {
+                            vclock::advance(idle);
+                            if cfg.pace_wall {
+                                // Stay away from the lock for the paced
+                                // duration (yield so peers run meanwhile).
+                                spin_wall(idle * kappa, true);
+                            }
+                        }
+                        TimeMode::Wall => {
+                            let t0 = Instant::now();
+                            while (t0.elapsed().as_nanos() as u64) < idle {
+                                std::hint::spin_loop();
+                            }
+                            if wall_start.elapsed().as_nanos()
+                                >= cfg.window_ns as u128
+                            {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+
+                    // Wall-clock safety net.
+                    check = check.wrapping_add(1);
+                    if check.is_multiple_of(512) && wall_start.elapsed() > cfg.max_wall {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                (ops, aborts, take_thread_stats())
+            })
+        })
+        .collect();
+
+    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
+    let mut aborts = 0u64;
+    let mut remote_misses = 0u64;
+    for h in handles {
+        let (ops, ab, stats) = h.join().expect("lbench worker panicked");
+        per_thread_ops.push(ops);
+        aborts += ab;
+        remote_misses += stats.remote_misses;
+    }
+
+    let total_ops: u64 = per_thread_ops.iter().sum();
+    let acquisitions = handoff.acquisitions();
+    let migrations = handoff.migrations();
+    let window_s = cfg.window_ns as f64 / 1e9;
+    let (mean, stddev_pct) = crate::stats::mean_stddev_pct(&per_thread_ops);
+    let _ = mean;
+    LBenchResult {
+        kind,
+        threads: cfg.threads,
+        total_ops,
+        throughput: total_ops as f64 / window_s,
+        acquisitions,
+        migrations,
+        // Data-line misses plus the lock-word transfer on each migration.
+        misses_per_cs: if acquisitions > 0 {
+            (remote_misses + migrations) as f64 / acquisitions as f64
+        } else {
+            0.0
+        },
+        mean_batch: if migrations > 0 {
+            acquisitions as f64 / migrations as f64
+        } else {
+            acquisitions as f64
+        },
+        aborts,
+        abort_rate: if total_ops + aborts > 0 {
+            aborts as f64 / (total_ops + aborts) as f64
+        } else {
+            0.0
+        },
+        stddev_pct,
+        batch_hist: handoff.batches().snapshot().to_vec(),
+        per_thread_ops,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(threads: usize) -> LBenchConfig {
+        LBenchConfig {
+            threads,
+            window_ns: 2_000_000, // 2 ms virtual: fast tests
+            max_wall: Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_run_produces_ops() {
+        let r = run_lbench(LockKind::Mcs, &quick_cfg(1));
+        assert!(r.total_ops > 10, "got {} ops", r.total_ops);
+        assert_eq!(r.migrations, 0, "one thread cannot migrate the lock");
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn multi_thread_run_counts_everything() {
+        let r = run_lbench(LockKind::CBoMcs, &quick_cfg(4));
+        assert_eq!(r.per_thread_ops.len(), 4);
+        assert_eq!(r.total_ops, r.per_thread_ops.iter().sum::<u64>());
+        assert!(r.acquisitions >= r.total_ops);
+        assert!(r.misses_per_cs >= 0.0);
+    }
+
+    #[test]
+    fn cohort_lock_migrates_less_than_mcs() {
+        // The paper's central claim, in miniature: with 8 threads over 4
+        // clusters (two cluster-mates each), plain MCS interleaves
+        // clusters while a cohort lock batches them.
+        let cfg = quick_cfg(8);
+        let mcs = run_lbench(LockKind::Mcs, &cfg);
+        let cohort = run_lbench(LockKind::CTktMcs, &cfg);
+        let mcs_rate = mcs.migrations as f64 / mcs.acquisitions.max(1) as f64;
+        let cohort_rate = cohort.migrations as f64 / cohort.acquisitions.max(1) as f64;
+        assert!(
+            cohort_rate < mcs_rate,
+            "cohort migration rate {cohort_rate:.3} should undercut MCS {mcs_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn abortable_mode_records_aborts_without_deadlock() {
+        let mut cfg = quick_cfg(4);
+        cfg.patience_ns = Some(50_000); // 50 µs: aggressive, forces aborts
+        let r = run_lbench(LockKind::ACBoClh, &cfg);
+        assert!(r.total_ops > 0);
+        // abort_rate is well-defined even when zero.
+        assert!(r.abort_rate >= 0.0 && r.abort_rate <= 1.0);
+    }
+
+    #[test]
+    fn wall_mode_runs_and_measures() {
+        // Wall mode on 1 CPU is not meaningful as a benchmark, but it must
+        // be functional (it is the path for real multi-socket hosts).
+        let cfg = LBenchConfig {
+            threads: 2,
+            window_ns: 30_000_000, // 30 ms wall
+            mode: TimeMode::Wall,
+            noncs_max_ns: 1_000,
+            max_wall: Duration::from_secs(5),
+            ..Default::default()
+        };
+        let r = run_lbench(LockKind::Ticket, &cfg);
+        assert!(r.total_ops > 0);
+        assert!(r.wall >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn patience_zero_aborts_do_not_wedge_the_run() {
+        let cfg = LBenchConfig {
+            threads: 4,
+            window_ns: 1_000_000,
+            patience_ns: Some(1), // hopeless patience: mostly aborts
+            ..Default::default()
+        };
+        let r = run_lbench(LockKind::ACBoBo, &cfg);
+        // The run must terminate (stop flag via abort charges) and count
+        // consistently.
+        assert!(r.aborts > 0 || r.total_ops > 0);
+    }
+
+    #[test]
+    fn blocked_placement_assigns_contiguously() {
+        let cfg = LBenchConfig {
+            threads: 8,
+            clusters: 4,
+            placement: Placement::Blocked,
+            ..Default::default()
+        };
+        assert_eq!(cluster_for(0, &cfg).as_usize(), 0);
+        assert_eq!(cluster_for(1, &cfg).as_usize(), 0);
+        assert_eq!(cluster_for(2, &cfg).as_usize(), 1);
+        assert_eq!(cluster_for(7, &cfg).as_usize(), 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Small statistics helpers used by the result types and the bench
+//! binaries.
+
+/// Mean and population standard deviation of `xs`, the latter expressed as
+/// a percentage of the mean (the Y axis of the paper's Figure 5).
+///
+/// Returns `(0.0, 0.0)` for empty input and a 0% deviation when the mean
+/// is zero.
+pub fn mean_stddev_pct(xs: &[u64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return (0.0, 0.0);
+    }
+    let var = xs
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean, var.sqrt() / mean * 100.0)
+}
+
+/// Geometric mean (used when summarising speedup rows).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let ln_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (ln_sum / xs.len() as f64).exp()
+}
+
+/// Formats a throughput figure the way the paper's plots label them
+/// (e.g. `3.2e6/s`).
+pub fn fmt_throughput(t: f64) -> String {
+    if t >= 1e6 {
+        format!("{:.2}e6/s", t / 1e6)
+    } else if t >= 1e3 {
+        format!("{:.1}e3/s", t / 1e3)
+    } else {
+        format!("{t:.0}/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_has_zero_deviation() {
+        let (mean, sd) = mean_stddev_pct(&[5, 5, 5, 5]);
+        assert_eq!(mean, 5.0);
+        assert_eq!(sd, 0.0);
+    }
+
+    #[test]
+    fn known_deviation() {
+        // [0, 10]: mean 5, population stddev 5 → 100%.
+        let (mean, sd) = mean_stddev_pct(&[0, 10]);
+        assert_eq!(mean, 5.0);
+        assert!((sd - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert_eq!(mean_stddev_pct(&[]), (0.0, 0.0));
+        assert_eq!(mean_stddev_pct(&[0, 0]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn geomean_of_twos() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(fmt_throughput(3_200_000.0), "3.20e6/s");
+        assert_eq!(fmt_throughput(4_500.0), "4.5e3/s");
+        assert_eq!(fmt_throughput(12.0), "12/s");
+    }
+}

@@ -1,0 +1,121 @@
+//! The store behind an injected lock — the paper's interpose library.
+
+use crate::store::{KvStats, KvStore};
+use lbench::BenchLock;
+use numa_topology::ClusterId;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// [`KvStore`] guarded by any [`BenchLock`] — the paper swapped the lock
+/// under memcached via `LD_PRELOAD`; here the lock is a constructor
+/// argument and the store code is identical for all 11 lock columns of
+/// Table 1.
+pub struct SharedKvStore {
+    lock: Arc<dyn BenchLock>,
+    store: UnsafeCell<KvStore>,
+}
+
+// SAFETY: `store` is only touched inside with_lock, under `lock`.
+unsafe impl Send for SharedKvStore {}
+unsafe impl Sync for SharedKvStore {}
+
+impl SharedKvStore {
+    /// Wraps `store` behind `lock`.
+    pub fn new(lock: Arc<dyn BenchLock>, store: KvStore) -> Self {
+        SharedKvStore {
+            lock,
+            store: UnsafeCell::new(store),
+        }
+    }
+
+    /// Runs `f` on the store while holding the cache lock.
+    pub fn with_lock<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
+        self.lock.acquire();
+        // SAFETY: the cache lock serializes all access to the store.
+        let r = f(unsafe { &mut *self.store.get() });
+        self.lock.release();
+        r
+    }
+
+    /// `get` under the cache lock.
+    pub fn get(&self, key: u64, cluster: ClusterId) -> Option<u64> {
+        self.with_lock(|s| s.get(key, cluster))
+    }
+
+    /// `set` under the cache lock.
+    pub fn set(&self, key: u64, stamp: u64, cluster: ClusterId) {
+        self.with_lock(|s| s.set(key, stamp, cluster))
+    }
+
+    /// Statistics snapshot (taken under the lock).
+    pub fn stats(&self) -> KvStats {
+        self.with_lock(|s| s.stats())
+    }
+
+    /// The injected lock (for handoff instrumentation).
+    pub fn lock(&self) -> &Arc<dyn BenchLock> {
+        &self.lock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KvConfig;
+    use coherence_sim::{CostModel, Directory};
+    use lbench::{LockKind, PthreadLock};
+    use numa_topology::Topology;
+
+    fn shared(lock: Arc<dyn BenchLock>) -> Arc<SharedKvStore> {
+        let cfg = KvConfig {
+            buckets: 256,
+            capacity: 1024,
+            ..Default::default()
+        };
+        let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+        Arc::new(SharedKvStore::new(lock, KvStore::new(cfg, dir)))
+    }
+
+    #[test]
+    fn concurrent_sets_and_gets_are_serialized() {
+        let topo = Arc::new(Topology::new(4));
+        // Exercise a cohort lock under the store, like Table 1 does.
+        let s = shared(LockKind::CBoMcs.make(&topo));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                let topo = Arc::clone(&topo);
+                std::thread::spawn(move || {
+                    let cl = numa_topology::current_cluster_in(&topo);
+                    for i in 0..500u64 {
+                        let key = t * 1000 + i;
+                        s.set(key, key + 7, cl);
+                        assert_eq!(s.get(key, cl), Some(key + 7));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.inserts, 2000);
+        assert_eq!(st.hits, 2000);
+    }
+
+    #[test]
+    fn delete_under_lock() {
+        let s = shared(Arc::new(PthreadLock::new()));
+        let cl = ClusterId::new(1);
+        s.set(9, 90, cl);
+        assert_eq!(s.with_lock(|st| st.delete(9, cl)), true);
+        assert_eq!(s.get(9, cl), None);
+    }
+
+    #[test]
+    fn works_with_pthread_lock_too() {
+        let s = shared(Arc::new(PthreadLock::new()));
+        s.set(1, 2, ClusterId::new(0));
+        assert_eq!(s.get(1, ClusterId::new(0)), Some(2));
+    }
+}

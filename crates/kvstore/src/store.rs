@@ -1,0 +1,447 @@
+//! The hash table + LRU core (memcached's `assoc` + `items`).
+
+use coherence_sim::Directory;
+use numa_topology::{vclock, ClusterId};
+
+/// Store geometry and per-operation compute costs.
+#[derive(Clone, Copy, Debug)]
+pub struct KvConfig {
+    /// Hash-table buckets (power of two).
+    pub buckets: usize,
+    /// Maximum resident entries; inserting past this evicts the LRU tail.
+    pub capacity: usize,
+    /// Simulated cache lines occupied by one value (memcached items carry
+    /// their value inline; 2 lines ≈ a 100-odd-byte item).
+    pub value_lines: usize,
+    /// Modelled hash + bookkeeping compute per operation (inside the
+    /// lock), beyond the charged line transfers.
+    pub op_compute_ns: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            buckets: 4096,
+            capacity: 16 * 1024,
+            value_lines: 2,
+            op_compute_ns: 120,
+        }
+    }
+}
+
+/// Running operation counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// get() calls that found the key.
+    pub hits: u64,
+    /// get() calls that missed.
+    pub misses: u64,
+    /// set() calls that overwrote an existing entry.
+    pub updates: u64,
+    /// set() calls that inserted a new entry.
+    pub inserts: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// One item: key, a value stamp (stands in for the bytes), hash chain and
+/// LRU links. Links are slab indices (`usize::MAX` = none).
+#[derive(Clone, Debug)]
+struct Entry {
+    key: u64,
+    stamp: u64,
+    hash_next: usize,
+    lru_prev: usize,
+    lru_next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// The single-lock key-value store.
+///
+/// Contract: every method that takes `&mut self` must be called while
+/// holding the store's cache lock (see [`SharedKvStore`](crate::SharedKvStore)).
+/// `cluster` identifies the NUMA cluster of the calling thread so the
+/// directory can charge local or remote latencies.
+pub struct KvStore {
+    cfg: KvConfig,
+    buckets: Vec<usize>,
+    slab: Vec<Entry>,
+    free_slots: Vec<usize>,
+    lru_head: usize,
+    lru_tail: usize,
+    stats: KvStats,
+    dir: std::sync::Arc<Directory>,
+}
+
+impl KvStore {
+    /// Lines used for bucket heads (8 per line: 8-byte pointers).
+    fn bucket_lines(cfg: &KvConfig) -> usize {
+        cfg.buckets.div_ceil(8)
+    }
+
+    /// Total simulated lines a store with `cfg` needs: bucket heads, one
+    /// LRU head/tail line, and `value_lines` per capacity slot.
+    pub fn lines_needed(cfg: &KvConfig) -> usize {
+        Self::bucket_lines(cfg) + 1 + cfg.capacity * cfg.value_lines
+    }
+
+    /// Creates an empty store charging through `dir` (which must have at
+    /// least [`lines_needed`](Self::lines_needed) lines).
+    pub fn new(cfg: KvConfig, dir: std::sync::Arc<Directory>) -> Self {
+        assert!(cfg.buckets.is_power_of_two(), "buckets must be 2^k");
+        assert!(dir.len() >= Self::lines_needed(&cfg), "directory too small");
+        KvStore {
+            buckets: vec![NIL; cfg.buckets],
+            slab: Vec::with_capacity(cfg.capacity),
+            free_slots: Vec::new(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            stats: KvStats::default(),
+            cfg,
+            dir,
+        }
+    }
+
+    /// Operation statistics so far.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.slab.len() - self.free_slots.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn hash(&self, key: u64) -> usize {
+        // Fibonacci hashing; memcached uses Bob Jenkins', any mixer works.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & (self.cfg.buckets - 1)
+    }
+
+    /// Directory line of bucket `b`'s head pointer.
+    #[inline]
+    fn bucket_line(&self, b: usize) -> usize {
+        b / 8
+    }
+
+    /// Directory line of the LRU head/tail pointers.
+    #[inline]
+    fn lru_line(&self) -> usize {
+        Self::bucket_lines(&self.cfg)
+    }
+
+    /// First directory line of slot `s`'s item.
+    #[inline]
+    fn entry_line(&self, s: usize) -> usize {
+        Self::bucket_lines(&self.cfg) + 1 + s * self.cfg.value_lines
+    }
+
+    /// Looks up `key`, refreshing its LRU position (memcached "touches"
+    /// items on every hit — those LRU writes are why even read-heavy loads
+    /// contend on shared lines). Returns the value stamp.
+    pub fn get(&mut self, key: u64, cluster: ClusterId) -> Option<u64> {
+        vclock::advance(self.cfg.op_compute_ns);
+        let b = self.hash(key);
+        self.dir.read(self.bucket_line(b), cluster);
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            // Chain walk: the entry header is on its first line.
+            self.dir.read(self.entry_line(cur), cluster);
+            if self.slab[cur].key == key {
+                // Value read: remaining value lines.
+                for l in 1..self.cfg.value_lines {
+                    self.dir.read(self.entry_line(cur) + l, cluster);
+                }
+                self.lru_unlink(cur, cluster);
+                self.lru_push_front(cur, cluster);
+                self.stats.hits += 1;
+                return Some(self.slab[cur].stamp);
+            }
+            cur = self.slab[cur].hash_next;
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts or overwrites `key` with `stamp`, evicting if full.
+    pub fn set(&mut self, key: u64, stamp: u64, cluster: ClusterId) {
+        vclock::advance(self.cfg.op_compute_ns);
+        let b = self.hash(key);
+        self.dir.read(self.bucket_line(b), cluster);
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            self.dir.read(self.entry_line(cur), cluster);
+            if self.slab[cur].key == key {
+                // Overwrite in place: write every value line.
+                for l in 0..self.cfg.value_lines {
+                    self.dir.write(self.entry_line(cur) + l, cluster);
+                }
+                self.slab[cur].stamp = stamp;
+                self.lru_unlink(cur, cluster);
+                self.lru_push_front(cur, cluster);
+                self.stats.updates += 1;
+                return;
+            }
+            cur = self.slab[cur].hash_next;
+        }
+        // Insert.
+        if self.len() >= self.cfg.capacity {
+            self.evict_lru(cluster);
+        }
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slab[s] = Entry {
+                    key,
+                    stamp,
+                    hash_next: self.buckets[b],
+                    lru_prev: NIL,
+                    lru_next: NIL,
+                };
+                s
+            }
+            None => {
+                self.slab.push(Entry {
+                    key,
+                    stamp,
+                    hash_next: self.buckets[b],
+                    lru_prev: NIL,
+                    lru_next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        for l in 0..self.cfg.value_lines {
+            self.dir.write(self.entry_line(slot) + l, cluster);
+        }
+        self.dir.write(self.bucket_line(b), cluster);
+        self.buckets[b] = slot;
+        self.lru_push_front(slot, cluster);
+        self.stats.inserts += 1;
+    }
+
+    /// Removes `key`; true if it was present.
+    pub fn delete(&mut self, key: u64, cluster: ClusterId) -> bool {
+        vclock::advance(self.cfg.op_compute_ns);
+        let b = self.hash(key);
+        self.dir.read(self.bucket_line(b), cluster);
+        let mut cur = self.buckets[b];
+        let mut prev = NIL;
+        while cur != NIL {
+            self.dir.read(self.entry_line(cur), cluster);
+            if self.slab[cur].key == key {
+                let next = self.slab[cur].hash_next;
+                if prev == NIL {
+                    self.dir.write(self.bucket_line(b), cluster);
+                    self.buckets[b] = next;
+                } else {
+                    self.dir.write(self.entry_line(prev), cluster);
+                    self.slab[prev].hash_next = next;
+                }
+                self.lru_unlink(cur, cluster);
+                self.free_slots.push(cur);
+                return true;
+            }
+            prev = cur;
+            cur = self.slab[cur].hash_next;
+        }
+        false
+    }
+
+    fn evict_lru(&mut self, cluster: ClusterId) {
+        let victim = self.lru_tail;
+        if victim == NIL {
+            return;
+        }
+        let key = self.slab[victim].key;
+        // delete() re-walks the chain, charging realistic traffic.
+        self.delete(key, cluster);
+        self.stats.evictions += 1;
+    }
+
+    fn lru_push_front(&mut self, slot: usize, cluster: ClusterId) {
+        // The LRU head line is the hottest line in memcached; every hit
+        // writes it.
+        self.dir.write(self.lru_line(), cluster);
+        self.dir.write(self.entry_line(slot), cluster);
+        self.slab[slot].lru_prev = NIL;
+        self.slab[slot].lru_next = self.lru_head;
+        if self.lru_head != NIL {
+            self.dir.write(self.entry_line(self.lru_head), cluster);
+            self.slab[self.lru_head].lru_prev = slot;
+        }
+        self.lru_head = slot;
+        if self.lru_tail == NIL {
+            self.lru_tail = slot;
+        }
+    }
+
+    fn lru_unlink(&mut self, slot: usize, cluster: ClusterId) {
+        let (p, n) = (self.slab[slot].lru_prev, self.slab[slot].lru_next);
+        if p != NIL {
+            self.dir.write(self.entry_line(p), cluster);
+            self.slab[p].lru_next = n;
+        } else if self.lru_head == slot {
+            self.dir.write(self.lru_line(), cluster);
+            self.lru_head = n;
+        }
+        if n != NIL {
+            self.dir.write(self.entry_line(n), cluster);
+            self.slab[n].lru_prev = p;
+        } else if self.lru_tail == slot {
+            self.dir.write(self.lru_line(), cluster);
+            self.lru_tail = p;
+        }
+        self.slab[slot].lru_prev = NIL;
+        self.slab[slot].lru_next = NIL;
+    }
+
+    /// Walks the LRU list front-to-back (test/debug helper).
+    pub fn lru_keys(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = self.lru_head;
+        while cur != NIL {
+            out.push(self.slab[cur].key);
+            cur = self.slab[cur].lru_next;
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("len", &self.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coherence_sim::CostModel;
+    use std::sync::Arc;
+
+    const C0: ClusterId = ClusterId::new(0);
+    const C1: ClusterId = ClusterId::new(1);
+
+    fn store() -> KvStore {
+        let cfg = KvConfig {
+            buckets: 64,
+            capacity: 8,
+            ..Default::default()
+        };
+        let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+        KvStore::new(cfg, dir)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = store();
+        s.set(1, 100, C0);
+        s.set(2, 200, C0);
+        assert_eq!(s.get(1, C0), Some(100));
+        assert_eq!(s.get(2, C0), Some(200));
+        assert_eq!(s.get(3, C0), None);
+        assert_eq!(s.stats().hits, 2);
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut s = store();
+        s.set(7, 1, C0);
+        s.set(7, 2, C0);
+        assert_eq!(s.get(7, C0), Some(2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stats().updates, 1);
+        assert_eq!(s.stats().inserts, 1);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut s = store();
+        s.set(5, 50, C0);
+        assert!(s.delete(5, C0));
+        assert!(!s.delete(5, C0));
+        assert_eq!(s.get(5, C0), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn eviction_removes_lru_victim() {
+        let mut s = store();
+        for k in 0..8 {
+            s.set(k, k, C0);
+        }
+        // Touch key 0 so it is MRU; key 1 becomes the LRU tail.
+        s.get(0, C0);
+        s.set(100, 100, C0); // forces eviction
+        assert_eq!(s.stats().evictions, 1);
+        assert_eq!(s.get(1, C0), None, "LRU tail should have been evicted");
+        assert_eq!(s.get(0, C0), Some(0), "recently used key survives");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn lru_order_tracks_access() {
+        let mut s = store();
+        s.set(1, 1, C0);
+        s.set(2, 2, C0);
+        s.set(3, 3, C0);
+        assert_eq!(s.lru_keys(), vec![3, 2, 1]);
+        s.get(1, C0);
+        assert_eq!(s.lru_keys(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let cfg = KvConfig {
+            buckets: 2, // force heavy chaining
+            capacity: 64,
+            ..Default::default()
+        };
+        let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+        let mut s = KvStore::new(cfg, dir);
+        for k in 0..32 {
+            s.set(k, k * 10, C0);
+        }
+        for k in 0..32 {
+            assert_eq!(s.get(k, C0), Some(k * 10));
+        }
+        for k in (0..32).step_by(2) {
+            assert!(s.delete(k, C0));
+        }
+        for k in 0..32 {
+            assert_eq!(s.get(k, C0), (k % 2 == 1).then_some(k * 10));
+        }
+    }
+
+    #[test]
+    fn remote_access_costs_more_virtually() {
+        let mut s = store();
+        numa_topology::vclock::reset();
+        s.set(42, 1, C0);
+        let local_cost = {
+            numa_topology::vclock::reset();
+            s.get(42, C0);
+            numa_topology::vclock::now()
+        };
+        let remote_cost = {
+            numa_topology::vclock::reset();
+            s.get(42, C1);
+            numa_topology::vclock::now()
+        };
+        assert!(
+            remote_cost > local_cost,
+            "remote {remote_cost} should exceed local {local_cost}"
+        );
+        numa_topology::vclock::reset();
+    }
+}

@@ -1,0 +1,220 @@
+//! memaslap-style load driver (Table 1 of the paper).
+//!
+//! The paper drives memcached with memaslap configured for three get/set
+//! mixes — 90/10 (read-heavy), 50/50 (mixed), 10/90 (write-heavy) — and
+//! reports, per lock and thread count, the speedup over the 1-thread
+//! pthread run. This module reproduces the server side of that setup: each
+//! worker thread plays both the network front-end (a modelled, parallel
+//! per-request overhead) and the storage engine (hash table + LRU under
+//! the cache lock).
+
+use crate::shared::SharedKvStore;
+use crate::store::{KvConfig, KvStore};
+use coherence_sim::{CostModel, Directory, HandoffChannel};
+use lbench::pace::{kappa_for, spin_wall};
+use lbench::LockKind;
+use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct KvWorkload {
+    /// Percentage of `get` operations (the paper: 90, 50, 10).
+    pub get_pct: u32,
+    /// Worker threads (memcached caps at 128; so does the paper).
+    pub threads: usize,
+    /// NUMA clusters.
+    pub clusters: usize,
+    /// Distinct keys driven by the clients.
+    pub keyspace: u64,
+    /// Virtual measurement window (ns).
+    pub window_ns: u64,
+    /// Modelled out-of-lock request handling (parsing, socket work) per
+    /// operation — the parallel fraction that sets the Amdahl plateau the
+    /// paper's Table 1 shows (~4.5–5× even with perfect locks).
+    pub parse_ns: u64,
+    /// Store geometry.
+    pub store: KvConfig,
+    /// Latency model.
+    pub cost: CostModel,
+    /// Wall-clock safety net.
+    pub max_wall: Duration,
+}
+
+impl Default for KvWorkload {
+    fn default() -> Self {
+        KvWorkload {
+            get_pct: 90,
+            threads: 4,
+            clusters: 4,
+            keyspace: 8192,
+            window_ns: 10_000_000,
+            parse_ns: 6_000,
+            store: KvConfig::default(),
+            cost: CostModel::t5440(),
+            max_wall: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One run's outcome.
+#[derive(Clone, Debug)]
+pub struct KvRunResult {
+    /// Lock under the store.
+    pub kind: LockKind,
+    /// Worker threads.
+    pub threads: usize,
+    /// Get percentage of the mix.
+    pub get_pct: u32,
+    /// Operations completed.
+    pub total_ops: u64,
+    /// Operations per virtual second.
+    pub throughput: f64,
+    /// Cache-lock migrations observed.
+    pub migrations: u64,
+    /// Cache-lock acquisitions observed.
+    pub acquisitions: u64,
+    /// Real time of the run.
+    pub wall: Duration,
+}
+
+/// Runs the workload with `kind` as the cache lock.
+pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
+    let topo = Arc::new(Topology::new(w.clusters));
+    let lock = kind.make(&topo);
+    let dir = Arc::new(Directory::new(KvStore::lines_needed(&w.store), w.cost));
+    let store = Arc::new(SharedKvStore::new(lock, KvStore::new(w.store, Arc::clone(&dir))));
+    let handoff = Arc::new(HandoffChannel::new(w.cost));
+
+    // Warm phase: populate the keyspace (mirrors memaslap's preload).
+    {
+        let c0 = ClusterId::new(0);
+        store.with_lock(|s| {
+            for k in 0..w.keyspace {
+                s.set(k, k, c0);
+            }
+        });
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(w.threads));
+    let started = Instant::now();
+    let kappa = kappa_for(w.threads);
+
+    let handles: Vec<_> = (0..w.threads)
+        .map(|i| {
+            let topo = Arc::clone(&topo);
+            let store = Arc::clone(&store);
+            let handoff = Arc::clone(&handoff);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let w = w.clone();
+            std::thread::spawn(move || {
+                let my_cluster = ClusterId::new((i % w.clusters) as u32);
+                bind_current_thread(&topo, my_cluster);
+                vclock::reset();
+                let mut rng = StdRng::seed_from_u64(0x6B76 ^ i as u64);
+                let mut ops = 0u64;
+                barrier.wait();
+                let wall_start = Instant::now();
+                let mut check = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..w.keyspace);
+                    let is_get = rng.gen_range(0..100) < w.get_pct;
+                    store.with_lock(|s| {
+                        handoff.on_acquire(my_cluster);
+                        let cs_start = vclock::now();
+                        if is_get {
+                            s.get(key, my_cluster);
+                        } else {
+                            s.set(key, ops, my_cluster);
+                        }
+                        let charged = vclock::now().saturating_sub(cs_start);
+                        // Hold in wall time what the model charged (see
+                        // lbench pacing docs).
+                        spin_wall((charged * kappa).min(100_000), true);
+                        if vclock::now() >= w.window_ns {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        handoff.on_release(my_cluster);
+                    });
+                    ops += 1;
+                    // Out-of-lock request handling (parallel fraction).
+                    vclock::advance(w.parse_ns);
+                    spin_wall(w.parse_ns * kappa, true);
+
+                    check = check.wrapping_add(1);
+                    if check.is_multiple_of(256) && wall_start.elapsed() > w.max_wall {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                ops
+            })
+        })
+        .collect();
+
+    let mut total_ops = 0u64;
+    for h in handles {
+        total_ops += h.join().expect("kv worker panicked");
+    }
+    KvRunResult {
+        kind,
+        threads: w.threads,
+        get_pct: w.get_pct,
+        total_ops,
+        throughput: total_ops as f64 / (w.window_ns as f64 / 1e9),
+        migrations: handoff.migrations(),
+        acquisitions: handoff.acquisitions(),
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(threads: usize, get_pct: u32) -> KvWorkload {
+        KvWorkload {
+            threads,
+            get_pct,
+            window_ns: 1_500_000,
+            keyspace: 512,
+            store: KvConfig {
+                buckets: 256,
+                capacity: 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_run_completes() {
+        let r = run_kv(LockKind::Pthread, &quick(1, 90));
+        assert!(r.total_ops > 50, "ops {}", r.total_ops);
+        assert_eq!(r.migrations, 0);
+    }
+
+    #[test]
+    fn multithreaded_write_heavy_run() {
+        let r = run_kv(LockKind::CTktMcs, &quick(4, 10));
+        assert!(r.total_ops > 100);
+        assert!(r.acquisitions >= r.total_ops);
+    }
+
+    #[test]
+    fn cohort_lock_batches_kv_critical_sections() {
+        let mcs = run_kv(LockKind::Mcs, &quick(8, 50));
+        let cohort = run_kv(LockKind::CBoMcs, &quick(8, 50));
+        let mcs_rate = mcs.migrations as f64 / mcs.acquisitions.max(1) as f64;
+        let cohort_rate = cohort.migrations as f64 / cohort.acquisitions.max(1) as f64;
+        assert!(
+            cohort_rate < mcs_rate,
+            "cohort {cohort_rate:.3} vs mcs {mcs_rate:.3}"
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate for the lock-cohorting suite: re-exports every member
+//! crate so examples and integration tests can reach the full system
+//! through one dependency. See README.md for the tour and DESIGN.md for
+//! the reproduction methodology.
+pub use base_locks;
+pub use cohort;
+pub use cohort_alloc;
+pub use cohort_kvstore;
+pub use coherence_sim;
+pub use lbench;
+pub use numa_baselines;
+pub use numa_topology;

@@ -1,0 +1,40 @@
+//! Integration: the may-pass-local policy bounds cohort tenures.
+
+use cohort::{CohortLock, GlobalBoLock, LocalMcsLock, PassPolicy};
+use lbench::{run_lbench_on, LBenchConfig, LockKind, RawAdapter};
+use numa_topology::Topology;
+use std::sync::Arc;
+
+fn run_with_bound(policy: PassPolicy) -> f64 {
+    let topo = Arc::new(Topology::new(4));
+    let lock: CohortLock<GlobalBoLock, LocalMcsLock> =
+        CohortLock::with_policy(Arc::clone(&topo), policy);
+    let cfg = LBenchConfig {
+        threads: 16,
+        window_ns: 3_000_000,
+        ..Default::default()
+    };
+    let r = run_lbench_on(LockKind::CBoMcs, Arc::new(RawAdapter::new(lock)), topo, &cfg);
+    r.mean_batch
+}
+
+#[test]
+fn tighter_bound_means_shorter_batches() {
+    let tight = run_with_bound(PassPolicy::Count { bound: 4 });
+    let loose = run_with_bound(PassPolicy::Count { bound: 64 });
+    assert!(
+        tight < loose,
+        "bound 4 gave batch {tight:.1}, bound 64 gave {loose:.1}"
+    );
+    // A batch can slightly exceed the bound (the same cluster may re-win
+    // the global lock), but the bound must still be the dominant term.
+    assert!(tight <= 16.0, "bound 4 should cap batches near 4, got {tight:.1}");
+}
+
+#[test]
+fn never_pass_policy_disables_batching() {
+    let batch = run_with_bound(PassPolicy::NeverPass);
+    // Without local handoffs every release goes global; batches form only
+    // when one cluster re-wins the global race.
+    assert!(batch <= 8.0, "NeverPass should kill batching, got {batch:.1}");
+}

@@ -1,0 +1,105 @@
+//! Integration: the key-value store is correct under every cohort lock.
+
+use cohort_kvstore::{KvConfig, KvStore, SharedKvStore};
+use coherence_sim::{CostModel, Directory};
+use lbench::LockKind;
+use numa_topology::{current_cluster_in, Topology};
+use std::sync::Arc;
+
+fn shared(kind: LockKind, topo: &Arc<Topology>) -> Arc<SharedKvStore> {
+    let cfg = KvConfig {
+        buckets: 512,
+        capacity: 4096,
+        ..Default::default()
+    };
+    let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+    Arc::new(SharedKvStore::new(kind.make(topo), KvStore::new(cfg, dir)))
+}
+
+/// Each thread owns a key and writes monotonically increasing stamps;
+/// a read must never observe a stamp going backwards (single-key
+/// linearizability under the cache lock).
+fn monotonic_stamps(kind: LockKind) {
+    let topo = Arc::new(Topology::new(4));
+    let store = shared(kind, &topo);
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let topo = Arc::clone(&topo);
+            std::thread::spawn(move || {
+                let cl = current_cluster_in(&topo);
+                let mut last_seen = 0u64;
+                for i in 1..=500u64 {
+                    store.set(t, i, cl);
+                    let v = store.get(t, cl).expect("own key present");
+                    assert!(v >= last_seen, "stamp regressed: {v} < {last_seen}");
+                    assert_eq!(v, i, "own writes are immediately visible");
+                    last_seen = v;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(store.stats().hits, 2000);
+}
+
+#[test]
+fn monotonic_under_c_bo_bo() {
+    monotonic_stamps(LockKind::CBoBo);
+}
+
+#[test]
+fn monotonic_under_c_tkt_tkt() {
+    monotonic_stamps(LockKind::CTktTkt);
+}
+
+#[test]
+fn monotonic_under_c_bo_mcs() {
+    monotonic_stamps(LockKind::CBoMcs);
+}
+
+#[test]
+fn monotonic_under_c_mcs_mcs() {
+    monotonic_stamps(LockKind::CMcsMcs);
+}
+
+#[test]
+fn monotonic_under_abortable_cohort() {
+    monotonic_stamps(LockKind::ACBoClh);
+}
+
+#[test]
+fn eviction_pressure_under_cohort_lock() {
+    let topo = Arc::new(Topology::new(4));
+    let cfg = KvConfig {
+        buckets: 64,
+        capacity: 128, // tiny: constant eviction
+        ..Default::default()
+    };
+    let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+    let store = Arc::new(SharedKvStore::new(
+        LockKind::CTktMcs.make(&topo),
+        KvStore::new(cfg, dir),
+    ));
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let topo = Arc::clone(&topo);
+            std::thread::spawn(move || {
+                let cl = current_cluster_in(&topo);
+                for i in 0..2_000u64 {
+                    store.set(t * 10_000 + i, i, cl);
+                    store.get(t * 10_000 + i.saturating_sub(5), cl);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let st = store.stats();
+    assert!(st.evictions > 0, "capacity 128 must evict under 8000 inserts");
+    store.with_lock(|s| assert!(s.len() <= 128));
+}

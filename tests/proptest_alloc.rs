@@ -1,0 +1,70 @@
+//! Property tests: the allocator never hands out overlapping blocks and
+//! conserves arena bytes across arbitrary malloc/free interleavings.
+
+use cohort_alloc::{MiniAlloc, MiniAllocConfig};
+use coherence_sim::{CostModel, Directory};
+use numa_topology::ClusterId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Malloc { size: u64 },
+    /// Frees the i-th oldest live allocation (modulo live count).
+    Free { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u64..400).prop_map(|size| Op::Malloc { size }),
+        2 => (0usize..64).prop_map(|idx| Op::Free { idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alloc_free_sequences_preserve_integrity(
+        ops in proptest::collection::vec(op_strategy(), 1..300)
+    ) {
+        let cfg = MiniAllocConfig { arena_bytes: 64 * 1024, ..Default::default() };
+        let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+        let mut a = MiniAlloc::new(cfg, dir);
+        let c = ClusterId::new(0);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Malloc { size } => {
+                    if let Some(addr) = a.malloc(size, c) {
+                        // No overlap with anything currently live.
+                        let end = addr + size;
+                        for &(la, ls) in &live {
+                            prop_assert!(
+                                end <= la || la + ls <= addr,
+                                "overlap: new [{},{}) vs live [{},{})",
+                                addr, end, la, la + ls
+                            );
+                        }
+                        live.push((addr, size));
+                    }
+                }
+                Op::Free { idx } => {
+                    if !live.is_empty() {
+                        let (addr, _) = live.remove(idx % live.len());
+                        a.free(addr, c);
+                    }
+                }
+            }
+        }
+        a.check_integrity().map_err(TestCaseError::fail)?;
+        // Return everything; the arena must re-assemble completely.
+        for (addr, _) in live {
+            a.free(addr, c);
+        }
+        a.check_integrity().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(a.live_blocks(), 0);
+        prop_assert_eq!(a.free_bytes(), 64 * 1024);
+    }
+}

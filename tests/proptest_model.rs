@@ -1,0 +1,99 @@
+//! Property tests on the cost-model substrates: the coherence directory
+//! against a naive reference model, and the pass policy.
+
+use coherence_sim::{CostModel, Directory, LineState};
+use cohort::PassPolicy;
+use numa_topology::ClusterId;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Access {
+    line: usize,
+    cluster: u32,
+    write: bool,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (0usize..8, 0u32..4, any::<bool>()).prop_map(|(line, cluster, write)| Access {
+        line,
+        cluster,
+        write,
+    })
+}
+
+/// Naive per-line reference: None = invalid, Ok(set) = shared by set,
+/// Err(owner) = modified by owner.
+type Ref = Option<Result<std::collections::BTreeSet<u32>, u32>>;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn directory_matches_reference_protocol(
+        accesses in proptest::collection::vec(access_strategy(), 1..200)
+    ) {
+        let dir = Directory::new(8, CostModel::t5440());
+        let mut model: Vec<Ref> = vec![None; 8];
+        for a in accesses {
+            let cl = ClusterId::new(a.cluster);
+            let ns = if a.write { dir.write(a.line, cl) } else { dir.read(a.line, cl) };
+            // Reference transition + expected charge.
+            let m = CostModel::t5440();
+            let expected = match (&model[a.line], a.write) {
+                (None, _) => m.cold_ns,
+                (Some(Err(owner)), false) => {
+                    if *owner == a.cluster { m.local_ns } else { m.remote_ns }
+                }
+                (Some(Err(owner)), true) => {
+                    if *owner == a.cluster { m.local_ns } else { m.remote_ns }
+                }
+                (Some(Ok(sharers)), false) => {
+                    if sharers.contains(&a.cluster) { m.local_ns } else { m.remote_ns }
+                }
+                (Some(Ok(sharers)), true) => {
+                    if sharers.len() == 1 && sharers.contains(&a.cluster) {
+                        m.local_ns
+                    } else {
+                        m.remote_ns
+                    }
+                }
+            };
+            prop_assert_eq!(ns, expected, "line {} cluster {} write {}", a.line, a.cluster, a.write);
+            // Apply reference transition.
+            model[a.line] = Some(match (model[a.line].take(), a.write) {
+                (None, true) => Err(a.cluster),
+                (None, false) => Ok([a.cluster].into_iter().collect()),
+                (Some(Err(owner)), false) => {
+                    if owner == a.cluster {
+                        Err(owner)
+                    } else {
+                        Ok([owner, a.cluster].into_iter().collect())
+                    }
+                }
+                (Some(Err(_)), true) => Err(a.cluster),
+                (Some(Ok(_)), true) => Err(a.cluster),
+                (Some(Ok(mut sharers)), false) => {
+                    sharers.insert(a.cluster);
+                    Ok(sharers)
+                }
+            });
+            // Cross-check decoded state.
+            match (&model[a.line], dir.state_of(a.line)) {
+                (Some(Err(o)), LineState::Modified { owner }) => {
+                    prop_assert_eq!(*o, owner.as_u32());
+                }
+                (Some(Ok(set)), LineState::Shared { sharers }) => {
+                    let mask: u32 = set.iter().fold(0, |m, &c| m | (1 << c));
+                    prop_assert_eq!(mask, sharers);
+                }
+                (m, s) => prop_assert!(false, "state mismatch: model {m:?} vs dir {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn count_policy_is_a_step_function(bound in 0u64..1_000, streak in 0u64..2_000) {
+        let p = PassPolicy::Count { bound };
+        prop_assert_eq!(p.may_pass_local(streak), streak < bound);
+    }
+}

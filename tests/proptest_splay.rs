@@ -1,0 +1,72 @@
+//! Property tests: the splay tree against a model (BTreeSet of keys).
+
+use cohort_alloc::SplayTree;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { size: u64, addr: u64 },
+    Remove { size: u64, addr: u64 },
+    TakeFirstFit { want: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..512, 0u64..100_000).prop_map(|(size, addr)| Op::Insert { size, addr }),
+        (1u64..512, 0u64..100_000).prop_map(|(size, addr)| Op::Remove { size, addr }),
+        (1u64..512).prop_map(|want| Op::TakeFirstFit { want }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn splay_matches_btreeset_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut tree = SplayTree::new();
+        let mut model: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert { size, addr } => {
+                    if model.insert((size, addr)) {
+                        tree.insert(size, addr, &mut |_| {});
+                    }
+                }
+                Op::Remove { size, addr } => {
+                    let expected = model.remove(&(size, addr));
+                    let got = tree.remove(size, addr, &mut |_| {});
+                    prop_assert_eq!(got, expected);
+                }
+                Op::TakeFirstFit { want } => {
+                    // Model: smallest (size, addr) with size >= want.
+                    let expected = model
+                        .range((want, 0)..)
+                        .next()
+                        .copied();
+                    let got = tree.take_first_fit(want, &mut |_| {});
+                    prop_assert_eq!(got, expected);
+                    if let Some(k) = expected {
+                        model.remove(&k);
+                    }
+                }
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Final: full in-order agreement.
+        let keys: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(tree.keys_in_order(), keys);
+    }
+
+    #[test]
+    fn insert_always_lands_at_root(size in 1u64..512, addr in 0u64..100_000) {
+        let mut tree = SplayTree::new();
+        tree.insert(100, 7, &mut |_| {});
+        tree.insert(200, 9, &mut |_| {});
+        if (size, addr) != (100, 7) && (size, addr) != (200, 9) {
+            tree.insert(size, addr, &mut |_| {});
+            prop_assert_eq!(tree.root_key(), Some((size, addr)));
+        }
+    }
+}
