@@ -169,7 +169,10 @@ impl MiniAlloc {
     /// real allocator would corrupt silently on.
     pub fn free(&mut self, addr: u64, cluster: ClusterId) {
         vclock::advance(self.cfg.op_compute_ns);
-        let size = self.live.remove(&addr).expect("free of unallocated address");
+        let size = self
+            .live
+            .remove(&addr)
+            .expect("free of unallocated address");
         self.stats.frees += 1;
         if size <= self.cfg.small_max {
             let class = (size / 8) as usize;
@@ -276,7 +279,10 @@ mod tests {
 
     fn alloc() -> MiniAlloc {
         let cfg = MiniAllocConfig::default();
-        let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+        let dir = Arc::new(Directory::new(
+            MiniAlloc::lines_needed(&cfg),
+            CostModel::t5440(),
+        ));
         MiniAlloc::new(cfg, dir)
     }
 
@@ -366,7 +372,10 @@ mod tests {
             arena_bytes: 1024,
             ..Default::default()
         };
-        let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+        let dir = Arc::new(Directory::new(
+            MiniAlloc::lines_needed(&cfg),
+            CostModel::t5440(),
+        ));
         let mut a = MiniAlloc::new(cfg, dir);
         let mut got = Vec::new();
         while let Some(p) = a.malloc(64, C0) {

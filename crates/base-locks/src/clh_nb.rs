@@ -90,9 +90,7 @@ impl AbortableClhLock {
                             // Abort: make our predecessor explicit, then
                             // never touch `node` again — our successor (or
                             // a later arriver) recycles it.
-                            unsafe {
-                                node.as_ref().prev.store(pred as usize, Ordering::Release)
-                            };
+                            unsafe { node.as_ref().prev.store(pred as usize, Ordering::Release) };
                             return None;
                         }
                     }
@@ -133,7 +131,8 @@ unsafe impl RawLock for AbortableClhLock {
     fn lock(&self) -> ClhNbToken {
         let node = self.pool.acquire();
         unsafe { node.as_ref().prev.store(WAITING, Ordering::Relaxed) };
-        self.wait(node, None).expect("infinite patience cannot abort")
+        self.wait(node, None)
+            .expect("infinite patience cannot abort")
     }
 
     fn try_lock(&self) -> Option<ClhNbToken> {

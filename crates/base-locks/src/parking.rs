@@ -82,7 +82,10 @@ impl ParkingLock {
             // registered waiters *after* releasing, so a release between
             // our re-check and the park shows up as an unpark token or a
             // free lock on the next bounded wakeup).
-            self.waiters.lock().unwrap().push_back(std::thread::current());
+            self.waiters
+                .lock()
+                .unwrap()
+                .push_back(std::thread::current());
             if self.try_acquire() {
                 // Got it after all; our stale registration may eat one
                 // unpark, which the bounded park absorbs.
@@ -143,8 +146,7 @@ unsafe impl RawLock for ParkingLock {
 // waiter removes itself.
 unsafe impl RawAbortableLock for ParkingLock {
     fn lock_with_patience(&self, patience_ns: u64) -> Option<()> {
-        let deadline =
-            std::time::Instant::now() + std::time::Duration::from_nanos(patience_ns);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_nanos(patience_ns);
         self.wait_until(Some(deadline)).then_some(())
     }
 }

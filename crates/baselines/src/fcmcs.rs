@@ -225,9 +225,7 @@ unsafe impl RawLock for FcMcsLock {
             // The grace period (a few scheduler rounds) is what lets other
             // publishers accumulate so a combine pass collects a real
             // batch instead of just ourselves.
-            if rounds >= 2
-                && unsafe { slot.as_ref().state.load(Ordering::Relaxed) } == PENDING
-            {
+            if rounds >= 2 && unsafe { slot.as_ref().state.load(Ordering::Relaxed) } == PENDING {
                 if let Some(t) = self.clusters[cluster].combiner.try_lock() {
                     self.combine(cluster);
                     // SAFETY: token from the try_lock above.

@@ -188,8 +188,7 @@ unsafe impl RawAbortableLock for HboLock {
         // `local_min` spin cycles (~1 ns each at worst); the deadline is
         // also re-checked through rounds, keeping A-HBO's "just give up"
         // simplicity.
-        let deadline =
-            std::time::Instant::now() + std::time::Duration::from_nanos(patience_ns);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_nanos(patience_ns);
         loop {
             if self.acquire(Some(8)) {
                 return Some(());

@@ -38,9 +38,7 @@ const SPLICED: u64 = 1 << 33;
 
 #[inline]
 fn pack(must_wait: bool, spliced: bool, cluster: u32) -> u64 {
-    (cluster as u64)
-        | if must_wait { MUST_WAIT } else { 0 }
-        | if spliced { SPLICED } else { 0 }
+    (cluster as u64) | if must_wait { MUST_WAIT } else { 0 } | if spliced { SPLICED } else { 0 }
 }
 
 /// One HCLH queue node (lives in the per-lock pool).
@@ -108,9 +106,7 @@ impl HclhLock {
         // oversubscribed host too: each yield lets runnable cluster-mates
         // reach their enqueue.
         let mut budget = self.combine_spins;
-        while budget > 0
-            && self.local_tails[cluster].load(Ordering::Relaxed) == node.as_ptr()
-        {
+        while budget > 0 && self.local_tails[cluster].load(Ordering::Relaxed) == node.as_ptr() {
             std::thread::yield_now();
             budget -= 1;
         }

@@ -2,9 +2,9 @@
 //! accesses, splay-tree operations, key-value store operations, and
 //! allocator malloc/free pairs.
 
+use coherence_sim::{CostModel, Directory};
 use cohort_alloc::{MiniAlloc, MiniAllocConfig, SplayTree};
 use cohort_kvstore::{KvConfig, KvStore};
-use coherence_sim::{CostModel, Directory};
 use criterion::{criterion_group, criterion_main, Criterion};
 use numa_topology::ClusterId;
 use std::sync::Arc;
@@ -60,7 +60,10 @@ fn splay_ops(c: &mut Criterion) {
 
 fn kvstore_ops(c: &mut Criterion) {
     let cfg = KvConfig::default();
-    let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+    let dir = Arc::new(Directory::new(
+        KvStore::lines_needed(&cfg),
+        CostModel::t5440(),
+    ));
     let mut store = KvStore::new(cfg, dir);
     for k in 0..4096u64 {
         store.set(k, k, C0);
@@ -84,7 +87,10 @@ fn kvstore_ops(c: &mut Criterion) {
 
 fn allocator_ops(c: &mut Criterion) {
     let cfg = MiniAllocConfig::default();
-    let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+    let dir = Arc::new(Directory::new(
+        MiniAlloc::lines_needed(&cfg),
+        CostModel::t5440(),
+    ));
     let mut a = MiniAlloc::new(cfg, dir);
     let mut g = c.benchmark_group("allocator");
     g.bench_function("malloc_free_64B", |b| {
@@ -102,5 +108,11 @@ fn allocator_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, directory_ops, splay_ops, kvstore_ops, allocator_ops);
+criterion_group!(
+    benches,
+    directory_ops,
+    splay_ops,
+    kvstore_ops,
+    allocator_ops
+);
 criterion_main!(benches);

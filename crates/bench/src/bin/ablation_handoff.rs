@@ -3,42 +3,24 @@
 //! The paper bounds consecutive local handoffs at 64 and reports that the
 //! unbounded ("deeply unfair") variant is only ~10% faster while allowing
 //! batches of hundreds of thousands. This ablation reproduces that
-//! tradeoff curve on C-BO-MCS: throughput and fairness per bound.
+//! tradeoff curve on C-BO-MCS — throughput and fairness per bound — via
+//! the same policy-sweep driver as `ablation_policy`.
 
-use cohort::{CohortLock, GlobalBoLock, LocalMcsLock, PassPolicy};
-use cohort_bench::{base_config, clusters};
-use lbench::{run_lbench_on, LockKind, RawAdapter};
-use numa_topology::Topology;
-use std::sync::Arc;
+use cohort_bench::{ablation_threads, emit_policy_rows, policy_sweep};
+use lbench::{LockKind, PolicySpec};
 
 fn main() {
-    let threads: usize = std::env::var("LBENCH_ABLATION_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32);
+    let threads = ablation_threads();
     eprintln!("ablation A: may-pass-local bound sweep on C-BO-MCS, {threads} threads");
-    println!("\n== Ablation A: handoff bound vs throughput/fairness (C-BO-MCS, {threads} threads) ==");
-    println!(
-        "{:>10} {:>14} {:>12} {:>12} {:>12}",
-        "bound", "ops/sec", "stddev %", "mean batch", "misses/CS"
+    let policies: Vec<PolicySpec> = [1u64, 4, 16, 64, 256]
+        .iter()
+        .map(|&bound| PolicySpec::Count { bound })
+        .chain([PolicySpec::Unbounded])
+        .collect();
+    let rows = policy_sweep(&[LockKind::CBoMcs], &policies, threads);
+    emit_policy_rows(
+        &format!("Ablation A: handoff bound vs throughput/fairness (C-BO-MCS, {threads} threads)"),
+        &rows,
+        "ablation_handoff",
     );
-    let policies: Vec<(String, PassPolicy)> = vec![
-        ("1".into(), PassPolicy::Count { bound: 1 }),
-        ("4".into(), PassPolicy::Count { bound: 4 }),
-        ("16".into(), PassPolicy::Count { bound: 16 }),
-        ("64".into(), PassPolicy::Count { bound: 64 }),
-        ("256".into(), PassPolicy::Count { bound: 256 }),
-        ("unbounded".into(), PassPolicy::Unbounded),
-    ];
-    for (name, policy) in policies {
-        let cfg = base_config(threads);
-        let topo = Arc::new(Topology::new(clusters()));
-        let lock: CohortLock<GlobalBoLock, LocalMcsLock> =
-            CohortLock::with_policy(Arc::clone(&topo), policy);
-        let r = run_lbench_on(LockKind::CBoMcs, Arc::new(RawAdapter::new(lock)), topo, &cfg);
-        println!(
-            "{:>10} {:>14.0} {:>12.1} {:>12.1} {:>12.3}",
-            name, r.throughput, r.stddev_pct, r.mean_batch, r.misses_per_cs
-        );
-    }
 }

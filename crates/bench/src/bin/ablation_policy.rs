@@ -1,0 +1,57 @@
+//! Ablation D: the handoff-*policy* space, beyond the paper's constant.
+//!
+//! The paper fixes fairness with one number — 64 consecutive local
+//! handoffs. This ablation compares the four shipped [`HandoffPolicy`]
+//! families on the paper's two best locks (C-BO-MCS and C-TKT-MCS):
+//!
+//! * `count(64)` — the paper's rule (locality bounded by handoff count);
+//! * `time(50µs)` — tenure bounded by virtual nanoseconds;
+//! * `adaptive(8..1024)` — AIMD bound following observed demand;
+//! * `unbounded` / `never-pass` — the locality ceiling and floor.
+//!
+//! Expected shape: `unbounded` sets the throughput ceiling with the worst
+//! fairness (huge streaks), `never-pass` the floor; `count`, `time` and
+//! `adaptive` should sit near the ceiling while keeping mean streaks
+//! short — `adaptive` trading a little fairness for throughput when local
+//! demand is sustained.
+//!
+//! Environment: `LBENCH_ABLATION_THREADS` (default 32), `KV_POLICY`-style
+//! extra specs via `LBENCH_EXTRA_POLICIES` (comma-separated
+//! [`PolicySpec::parse`] syntax), plus the usual `LBENCH_*` knobs.
+//!
+//! [`HandoffPolicy`]: cohort::HandoffPolicy
+//! [`PolicySpec::parse`]: lbench::PolicySpec::parse
+
+use cohort_bench::{ablation_threads, emit_policy_rows, policy_sweep};
+use lbench::{LockKind, PolicySpec};
+
+fn main() {
+    let threads = ablation_threads();
+    let locks = [LockKind::CBoMcs, LockKind::CTktMcs];
+    let mut policies = vec![
+        PolicySpec::paper_default(),
+        PolicySpec::Time { budget_ns: 50_000 },
+        PolicySpec::Adaptive { min: 8, max: 1024 },
+        PolicySpec::Unbounded,
+        PolicySpec::NeverPass,
+    ];
+    if let Ok(extra) = std::env::var("LBENCH_EXTRA_POLICIES") {
+        for spec in extra.split(',').filter(|s| !s.trim().is_empty()) {
+            match PolicySpec::parse(spec) {
+                Some(p) => policies.push(p),
+                None => eprintln!("ignoring unparseable policy spec {spec:?}"),
+            }
+        }
+    }
+    eprintln!(
+        "ablation D: handoff-policy comparison on {} locks x {} policies, {threads} threads",
+        locks.len(),
+        policies.len()
+    );
+    let rows = policy_sweep(&locks, &policies, threads);
+    emit_policy_rows(
+        &format!("Ablation D: handoff policies ({threads} threads)"),
+        &rows,
+        "ablation_policy",
+    );
+}

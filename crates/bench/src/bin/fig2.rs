@@ -9,7 +9,10 @@ use cohort_bench::{emit, sweep, Table};
 use lbench::LockKind;
 
 fn main() {
-    eprintln!("fig2: LBench throughput sweep ({} locks)", LockKind::FIG2.len());
+    eprintln!(
+        "fig2: LBench throughput sweep ({} locks)",
+        LockKind::FIG2.len()
+    );
     let results = sweep(&LockKind::FIG2, None);
     let table = Table::from_results(
         "Figure 2: LBench throughput (ops/sec)",

@@ -8,12 +8,25 @@
 
 use cohort_bench::{clusters, emit, thread_grid, window_ns, Table};
 use cohort_kvstore::workload::{run_kv, KvWorkload};
-use lbench::LockKind;
+use lbench::{LockKind, PolicySpec};
 use std::time::Duration;
 
 fn main() {
     let grid: Vec<usize> = thread_grid().into_iter().filter(|&t| t <= 128).collect();
-    for &(get_pct, label) in &[(90u32, "90% gets / 10% sets"), (50, "50/50"), (10, "10% gets / 90% sets")] {
+    // KV_POLICY selects the cache lock's handoff policy for the cohort
+    // columns (PolicySpec::parse syntax, e.g. "count:16", "time:50000",
+    // "adaptive"); unset = the paper's count(64).
+    let policy = std::env::var("KV_POLICY")
+        .ok()
+        .map(|s| PolicySpec::parse(&s).unwrap_or_else(|| panic!("unparseable KV_POLICY {s:?}")));
+    if let Some(p) = policy {
+        eprintln!("table1: cache-lock policy {p}");
+    }
+    for &(get_pct, label) in &[
+        (90u32, "90% gets / 10% sets"),
+        (50, "50/50"),
+        (10, "10% gets / 90% sets"),
+    ] {
         eprintln!("table1: mix {label}");
         // Baseline: pthread at 1 thread.
         let base = run_kv(
@@ -39,6 +52,7 @@ fn main() {
                         clusters: clusters(),
                         window_ns: window_ns(),
                         max_wall: Duration::from_secs(30),
+                        policy,
                         ..Default::default()
                     },
                 );
@@ -51,9 +65,15 @@ fn main() {
                 rows.push((threads, kind, r.throughput / base_thr));
             }
         }
+        let policy_note = policy
+            .map(|p| format!(", cohort policy {p}"))
+            .unwrap_or_default();
         let mut table = Table {
-            title: format!("Table 1 ({label}): speedup over 1-thread pthread"),
-            columns: LockKind::TABLES.iter().map(|k| k.name().to_string()).collect(),
+            title: format!("Table 1 ({label}{policy_note}): speedup over 1-thread pthread"),
+            columns: LockKind::TABLES
+                .iter()
+                .map(|k| k.name().to_string())
+                .collect(),
             rows: Vec::new(),
             precision: 2,
         };

@@ -5,8 +5,8 @@
 //! rate; cohort locks reach 5–6×, because lock batching keeps the splay
 //! tree's hot nodes and the recycled blocks inside one cluster.
 
-use cohort_bench::{clusters, emit, thread_grid, window_ns, Table};
 use cohort_alloc::workload::{run_mmicro, MmicroWorkload};
+use cohort_bench::{clusters, emit, thread_grid, window_ns, Table};
 use lbench::LockKind;
 use std::time::Duration;
 
@@ -15,7 +15,10 @@ fn main() {
     let grid = thread_grid();
     let mut table = Table {
         title: "Table 2: mmicro throughput (malloc-free pairs per ms)".into(),
-        columns: LockKind::TABLES.iter().map(|k| k.name().to_string()).collect(),
+        columns: LockKind::TABLES
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect(),
         rows: Vec::new(),
         precision: 0,
     };

@@ -15,7 +15,7 @@
 //! * `LBENCH_CLUSTERS` — NUMA clusters (default 4, the T5440).
 //! * `RESULTS_DIR` — where CSV copies are written (default `results/`).
 
-use lbench::{run_lbench, LBenchConfig, LBenchResult, LockKind};
+use lbench::{run_lbench, LBenchConfig, LBenchResult, LockKind, PolicySpec};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -198,6 +198,133 @@ pub fn emit(table: &Table, csv_name: &str) {
         Ok(p) => println!("[csv written to {}]", p.display()),
         Err(e) => eprintln!("[csv not written: {e}]"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Policy sweeps (ablations A and D)
+
+/// One cell of a handoff-policy sweep: a (lock, policy) pair's throughput,
+/// fairness, and tenure statistics.
+#[derive(Clone, Debug)]
+pub struct PolicyRow {
+    /// Lock under test.
+    pub kind: LockKind,
+    /// Policy label used in the run.
+    pub policy: String,
+    /// The full LBench measurement.
+    pub result: LBenchResult,
+}
+
+/// Runs `locks × policies` at one thread count, printing a progress line
+/// per cell — the shared driver behind `ablation_handoff` and
+/// `ablation_policy`.
+pub fn policy_sweep(locks: &[LockKind], policies: &[PolicySpec], threads: usize) -> Vec<PolicyRow> {
+    let mut rows = Vec::with_capacity(locks.len() * policies.len());
+    for &kind in locks {
+        for &policy in policies {
+            let mut cfg = base_config(threads);
+            cfg.policy = Some(policy);
+            let r = run_lbench(kind, &cfg);
+            eprintln!(
+                "  [{kind} {policy} t={threads}] {:.3}e6 ops/s, {:.1} mean streak, {:.2} migr/tenure ({:?} wall)",
+                r.throughput / 1e6,
+                r.mean_streak,
+                r.migrations_per_tenure,
+                r.wall
+            );
+            rows.push(PolicyRow {
+                kind,
+                policy: policy.to_string(),
+                result: r,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders policy-sweep rows as an aligned text table.
+pub fn render_policy_rows(title: &str, rows: &[PolicyRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("\n== {title} ==\n"));
+    s.push_str(&format!(
+        "{:>10} {:>16} {:>14} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+        "lock",
+        "policy",
+        "ops/sec",
+        "stddev %",
+        "mean batch",
+        "misses/CS",
+        "mean streak",
+        "migr/tenure"
+    ));
+    for row in rows {
+        let r = &row.result;
+        s.push_str(&format!(
+            "{:>10} {:>16} {:>14.0} {:>10.1} {:>12.1} {:>12.3} {:>12.1} {:>12.2}\n",
+            row.kind.name(),
+            row.policy,
+            r.throughput,
+            r.stddev_pct,
+            r.mean_batch,
+            r.misses_per_cs,
+            r.mean_streak,
+            r.migrations_per_tenure
+        ));
+    }
+    s
+}
+
+/// Writes policy-sweep rows as `RESULTS_DIR/<name>.csv` with one row per
+/// (lock, policy) cell.
+pub fn write_policy_csv(rows: &[PolicyRow], name: &str) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir)?;
+    let path = PathBuf::from(dir).join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(
+        f,
+        "lock,policy,threads,throughput,stddev_pct,mean_batch,misses_per_cs,\
+         tenures,local_handoffs,mean_streak,max_streak,migrations_per_tenure"
+    )?;
+    for row in rows {
+        let r = &row.result;
+        writeln!(
+            f,
+            "{},{},{},{:.0},{:.2},{:.2},{:.4},{},{},{:.2},{},{:.4}",
+            row.kind.name(),
+            row.policy,
+            r.threads,
+            r.throughput,
+            r.stddev_pct,
+            r.mean_batch,
+            r.misses_per_cs,
+            r.tenures,
+            r.local_handoffs,
+            r.mean_streak,
+            r.max_streak,
+            r.migrations_per_tenure
+        )?;
+    }
+    Ok(path)
+}
+
+/// Prints a policy table and saves its CSV, reporting where.
+pub fn emit_policy_rows(title: &str, rows: &[PolicyRow], csv_name: &str) {
+    print!("{}", render_policy_rows(title, rows));
+    match write_policy_csv(rows, csv_name) {
+        Ok(p) => println!("[csv written to {}]", p.display()),
+        Err(e) => eprintln!("[csv not written: {e}]"),
+    }
+}
+
+/// Thread count for the ablation binaries (`LBENCH_ABLATION_THREADS`,
+/// default 32).
+pub fn ablation_threads() -> usize {
+    std::env::var("LBENCH_ABLATION_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(32)
 }
 
 #[cfg(test)]

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn t5440_remote_penalty_at_least_four_x() {
         let m = CostModel::t5440();
-        assert!(m.remote_ns >= 4 * m.local_ns, "loaded model ≥ light-load 4×");
+        assert!(
+            m.remote_ns >= 4 * m.local_ns,
+            "loaded model ≥ light-load 4×"
+        );
         assert!(m.remote_handoff_ns > m.local_handoff_ns);
         let light = CostModel::t5440_light();
         assert_eq!(light.remote_ns / light.local_ns, 4);

@@ -13,17 +13,17 @@
 //! like any other timeout-capable lock.
 
 use crate::lock::{CohortLock, CohortToken};
-use crate::traits::{
-    AbortableGlobalLock, AbortableLocalCohortLock, LocalAbortResult, Release,
-};
+use crate::policy::HandoffPolicy;
+use crate::traits::{AbortableGlobalLock, AbortableLocalCohortLock, LocalAbortResult, Release};
 use base_locks::RawAbortableLock;
 use numa_topology::current_cluster_in;
 use std::time::Instant;
 
-impl<G, L> CohortLock<G, L>
+impl<G, L, P> CohortLock<G, L, P>
 where
     G: AbortableGlobalLock,
     L: AbortableLocalCohortLock,
+    P: HandoffPolicy,
 {
     /// Tries to acquire the cohort lock, giving up after roughly
     /// `patience_ns` wall-clock nanoseconds in total (shared between the
@@ -43,7 +43,7 @@ where
             LocalAbortResult::Acquired(ltok, Release::Local) => {
                 // Cohort already owns the global lock.
                 // SAFETY: we hold the local lock.
-                unsafe { self.note_local_inheritance() };
+                unsafe { self.note_local_inheritance(cluster) };
                 Some(self.assemble_token(cluster, ltok))
             }
             LocalAbortResult::Acquired(ltok, Release::Global) => {
@@ -52,7 +52,7 @@ where
                 match self.global_ref().lock_with_patience(remaining.max(1)) {
                     Some(g) => {
                         // SAFETY: we hold the local lock.
-                        unsafe { self.stash_global(g) };
+                        unsafe { self.stash_global(cluster, g) };
                         Some(self.assemble_token(cluster, ltok))
                     }
                     None => {
@@ -72,9 +72,12 @@ where
             LocalAbortResult::Rescued(ltok) => {
                 // The abort raced a committed local handoff and we became
                 // the owner of record (local lock + inherited global).
-                // Discharge both and report the timeout.
+                // Record the inheritance (streak bump — the predecessor
+                // already counted the handoff itself), then discharge both
+                // locks and report the timeout.
                 // SAFETY: we hold the cohort lock; release it wholesale.
                 unsafe {
+                    self.note_local_inheritance(cluster);
                     self.release(self.assemble_token(cluster, ltok));
                 }
                 None
@@ -85,10 +88,11 @@ where
 
 // SAFETY: delegates to the cohort protocol above; a `None` return provably
 // leaves both component locks acquirable (see the per-arm comments).
-unsafe impl<G, L> RawAbortableLock for CohortLock<G, L>
+unsafe impl<G, L, P> RawAbortableLock for CohortLock<G, L, P>
 where
     G: AbortableGlobalLock,
     L: AbortableLocalCohortLock,
+    P: HandoffPolicy,
 {
     fn lock_with_patience(&self, patience_ns: u64) -> Option<Self::Token> {
         CohortLock::lock_with_patience(self, patience_ns)

@@ -120,9 +120,7 @@ impl LocalAClhLock {
                                 Ok(_) => {
                                     // SAFETY: our node; successors read it.
                                     unsafe {
-                                        node.as_ref()
-                                            .word
-                                            .store(pred as usize, Ordering::Release)
+                                        node.as_ref().word.store(pred as usize, Ordering::Release)
                                     };
                                     return LocalAbortResult::TimedOut;
                                 }

@@ -1,11 +1,11 @@
 //! The generic cohort lock — the paper's §2 transformation as one type.
 
-use crate::policy::PassPolicy;
+use crate::policy::{CohortStats, CountBound, HandoffPolicy};
 use crate::traits::{GlobalLock, LocalCohortLock, Release};
 use base_locks::RawLock;
 use crossbeam_utils::CachePadded;
 use numa_topology::{current_cluster_in, global_topology, ClusterId, Topology};
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::sync::Arc;
 
 /// Holder-private state of a cohort lock.
@@ -36,14 +36,17 @@ impl<LT> CohortToken<LT> {
 
 /// A NUMA-aware lock built from any thread-oblivious global lock `G` and
 /// any cohort-detecting local lock `L` — the lock cohorting transformation
-/// of Dice, Marathe and Shavit (PPoPP 2012), §2.
+/// of Dice, Marathe and Shavit (PPoPP 2012), §2 — under a pluggable
+/// fairness policy `P`.
 ///
 /// One instance of `L` exists per NUMA cluster (cache-line padded); `G` is
 /// shared. A thread first acquires its cluster's local lock; the state the
 /// previous owner left there says whether the cohort still owns `G`
 /// ([`Release::Local`]) or `G` must be (re-)acquired ([`Release::Global`]).
-/// On release, the [`PassPolicy`] and the local lock's `alone?` predicate
-/// decide between a cheap intra-cluster handoff and a global release.
+/// On release, the [`HandoffPolicy`] and the local lock's `alone?`
+/// predicate decide between a cheap intra-cluster handoff and a global
+/// release. `P` defaults to [`CountBound`] — the paper's
+/// 64-consecutive-handoffs rule.
 ///
 /// Ready-made compositions carry the paper's names: [`CBoBo`],
 /// [`CTktTkt`], [`CBoMcs`], [`CTktMcs`], [`CMcsMcs`].
@@ -53,35 +56,54 @@ impl<LT> CohortToken<LT> {
 /// [`CBoMcs`]: crate::CBoMcs
 /// [`CTktMcs`]: crate::CTktMcs
 /// [`CMcsMcs`]: crate::CMcsMcs
-pub struct CohortLock<G: GlobalLock, L: LocalCohortLock> {
+pub struct CohortLock<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy = CountBound> {
     topo: Arc<Topology>,
     global: G,
     locals: Box<[CachePadded<L>]>,
     holder: UnsafeCell<HolderState<G::Token>>,
-    policy: PassPolicy,
+    policy: P,
 }
 
 // SAFETY: `holder` is only accessed while holding the lock (see
-// HolderState docs); everything else is Sync by construction.
-unsafe impl<G: GlobalLock, L: LocalCohortLock> Send for CohortLock<G, L> {}
-unsafe impl<G: GlobalLock, L: LocalCohortLock> Sync for CohortLock<G, L> {}
+// HolderState docs); everything else is Sync by construction (P: Sync via
+// the HandoffPolicy supertraits).
+unsafe impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> Send for CohortLock<G, L, P> {}
+unsafe impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> Sync for CohortLock<G, L, P> {}
 
-impl<G, L> CohortLock<G, L>
+impl<G, L, P> CohortLock<G, L, P>
 where
     G: GlobalLock + Default,
     L: LocalCohortLock + Default,
+    P: HandoffPolicy,
 {
-    /// Creates a cohort lock over `topo` with the paper's default policy
-    /// (64 consecutive local handoffs).
-    pub fn new(topo: Arc<Topology>) -> Self {
-        Self::with_policy(topo, PassPolicy::paper_default())
+    /// Creates a cohort lock over `topo` with the policy's default
+    /// configuration (for the default `P` this is the paper's rule: 64
+    /// consecutive local handoffs).
+    pub fn new(topo: Arc<Topology>) -> Self
+    where
+        P: Default,
+    {
+        Self::with_handoff_policy(topo, P::default())
     }
 
-    /// Creates a cohort lock with an explicit fairness policy.
-    pub fn with_policy(topo: Arc<Topology>, policy: PassPolicy) -> Self {
+    /// Creates a cohort lock with an explicit fairness policy value.
+    ///
+    /// This is the compat shim for pre-trait call sites: anything
+    /// convertible into `P` is accepted, and [`PassPolicy`] converts into
+    /// the default [`CountBound`], so `with_policy(topo,
+    /// PassPolicy::Count { bound })` keeps working unchanged.
+    ///
+    /// [`PassPolicy`]: crate::PassPolicy
+    pub fn with_policy(topo: Arc<Topology>, policy: impl Into<P>) -> Self {
+        Self::with_handoff_policy(topo, policy.into())
+    }
+
+    /// Creates a cohort lock with an explicit [`HandoffPolicy`] instance.
+    pub fn with_handoff_policy(topo: Arc<Topology>, mut policy: P) -> Self {
         let locals = (0..topo.clusters())
             .map(|_| CachePadded::new(L::default()))
             .collect();
+        policy.bind(topo.clusters());
         CohortLock {
             topo,
             global: G::default(),
@@ -95,22 +117,34 @@ where
     }
 }
 
-impl<G: GlobalLock + Default, L: LocalCohortLock + Default> Default for CohortLock<G, L> {
+impl<G, L, P> Default for CohortLock<G, L, P>
+where
+    G: GlobalLock + Default,
+    L: LocalCohortLock + Default,
+    P: HandoffPolicy + Default,
+{
     /// Uses the process-wide [`global_topology`].
     fn default() -> Self {
         Self::new(global_topology())
     }
 }
 
-impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
+impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortLock<G, L, P> {
     /// The topology this lock partitions threads by.
     pub fn topology(&self) -> &Arc<Topology> {
         &self.topo
     }
 
     /// The fairness policy in effect.
-    pub fn policy(&self) -> PassPolicy {
-        self.policy
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Snapshot of the lock's tenure statistics (tenures, local handoffs,
+    /// streak lengths — per cluster), maintained by the policy's
+    /// cache-padded counters.
+    pub fn cohort_stats(&self) -> CohortStats {
+        self.policy.snapshot()
     }
 
     /// Acquire path shared by `lock` and `try_lock` once the local lock is
@@ -119,7 +153,7 @@ impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
     ///
     /// SAFETY: caller holds the local lock of `cluster`.
     #[inline]
-    unsafe fn finish_acquire(&self, inherited: Release) {
+    unsafe fn finish_acquire(&self, cluster: ClusterId, inherited: Release) {
         match inherited {
             Release::Local => {
                 // The cohort already owns the global lock; the token is in
@@ -139,10 +173,7 @@ impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
                 // the stash from its release closure. G's release/acquire
                 // edge is what hands us exclusive holder access.
                 let g = self.global.lock();
-                let holder = &mut *self.holder.get();
-                debug_assert!(holder.global_token.is_none(), "stale global token");
-                holder.global_token = Some(g);
-                holder.streak = 0;
+                self.stash_global(cluster, g);
             }
         }
     }
@@ -159,25 +190,31 @@ impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
     }
 
     /// Builds a token (crate-internal plumbing).
-    pub(crate) fn assemble_token(&self, cluster: ClusterId, local: L::Token) -> CohortToken<L::Token> {
+    pub(crate) fn assemble_token(
+        &self,
+        cluster: ClusterId,
+        local: L::Token,
+    ) -> CohortToken<L::Token> {
         CohortToken { cluster, local }
     }
 
     /// Records a Release::Local inheritance (streak bump).
     ///
     /// SAFETY: caller holds the local lock after inheriting Local state.
-    pub(crate) unsafe fn note_local_inheritance(&self) {
-        self.finish_acquire(Release::Local);
+    pub(crate) unsafe fn note_local_inheritance(&self, cluster: ClusterId) {
+        self.finish_acquire(cluster, Release::Local);
     }
 
-    /// Stashes a freshly acquired global token and resets the streak.
+    /// Stashes a freshly acquired global token, resets the streak, and
+    /// opens the tenure with the policy.
     ///
     /// SAFETY: caller holds the local lock and just acquired the global.
-    pub(crate) unsafe fn stash_global(&self, g: G::Token) {
+    pub(crate) unsafe fn stash_global(&self, cluster: ClusterId, g: G::Token) {
         let holder = &mut *self.holder.get();
         debug_assert!(holder.global_token.is_none(), "stale global token");
         holder.global_token = Some(g);
         holder.streak = 0;
+        self.policy.on_global_acquire(cluster);
     }
 
     /// Releases the lock; factored out so abortable variants can reuse it.
@@ -188,8 +225,19 @@ impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
         let local = &self.locals[token.cluster.as_usize()];
         // Read the streak while still holding (holder-private).
         let streak = (*self.holder.get()).streak;
-        let pass = self.policy.may_pass_local(streak);
+        let pass = self.policy.may_pass_local(token.cluster, streak);
+        // The closure runs iff the local lock ends the tenure (policy said
+        // stop, or no successor); record which way it went for the policy
+        // hook below.
+        let went_global = Cell::new(false);
         local.unlock_local(token.local, pass, || {
+            went_global.set(true);
+            // Close the tenure with the policy *before* releasing the
+            // global lock: the next tenure's on_global_acquire (on any
+            // cluster) runs under the freshly acquired global lock, so
+            // this ordering is what serializes the acquire/release hooks
+            // (see the HandoffPolicy docs).
+            self.policy.on_global_release(token.cluster, streak);
             // SAFETY: still holding; unique access to the stash. Taking a
             // fresh &mut here (rather than capturing one) keeps borrows
             // disjoint from the streak read above.
@@ -200,6 +248,13 @@ impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
                 .expect("cohort invariant: global token present at global release");
             self.global.unlock(g);
         });
+        if !went_global.get() {
+            // A local handoff committed. The successor may already be in
+            // its critical section (or even releasing), so this hook can
+            // run concurrently with same-cluster hooks — which is why the
+            // trait requires it to touch only atomic state.
+            self.policy.on_local_handoff(token.cluster, streak);
+        }
     }
 }
 
@@ -208,7 +263,7 @@ impl<G: GlobalLock, L: LocalCohortLock> CohortLock<G, L> {
 // a Release::Local inheritance (global lock retained by the cohort) or a
 // fresh global acquisition; deadlock-freedom follows from `alone?` having
 // no false negatives for non-abortable locals.
-unsafe impl<G: GlobalLock, L: LocalCohortLock> RawLock for CohortLock<G, L> {
+unsafe impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> RawLock for CohortLock<G, L, P> {
     type Token = CohortToken<L::Token>;
 
     fn lock(&self) -> Self::Token {
@@ -216,7 +271,7 @@ unsafe impl<G: GlobalLock, L: LocalCohortLock> RawLock for CohortLock<G, L> {
         let local = &self.locals[cluster.as_usize()];
         let (ltok, inherited) = local.lock_local();
         // SAFETY: we hold the local lock.
-        unsafe { self.finish_acquire(inherited) };
+        unsafe { self.finish_acquire(cluster, inherited) };
         CohortToken {
             cluster,
             local: ltok,
@@ -230,7 +285,7 @@ unsafe impl<G: GlobalLock, L: LocalCohortLock> RawLock for CohortLock<G, L> {
         match inherited {
             Release::Local => {
                 // SAFETY: holding the local lock.
-                unsafe { self.finish_acquire(Release::Local) };
+                unsafe { self.finish_acquire(cluster, Release::Local) };
                 Some(CohortToken {
                     cluster,
                     local: ltok,
@@ -239,11 +294,7 @@ unsafe impl<G: GlobalLock, L: LocalCohortLock> RawLock for CohortLock<G, L> {
             Release::Global => match self.global.try_lock() {
                 Some(g) => {
                     // SAFETY: holding the local lock; stash directly.
-                    unsafe {
-                        let holder = &mut *self.holder.get();
-                        holder.global_token = Some(g);
-                        holder.streak = 0;
-                    }
+                    unsafe { self.stash_global(cluster, g) };
                     Some(CohortToken {
                         cluster,
                         local: ltok,
@@ -265,7 +316,7 @@ unsafe impl<G: GlobalLock, L: LocalCohortLock> RawLock for CohortLock<G, L> {
     }
 }
 
-impl<G: GlobalLock, L: LocalCohortLock> std::fmt::Debug for CohortLock<G, L> {
+impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> std::fmt::Debug for CohortLock<G, L, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CohortLock")
             .field("clusters", &self.locals.len())

@@ -118,7 +118,12 @@ pub unsafe trait LocalCohortLock: Send + Sync {
     ///
     /// `token` must stem from `lock_local`/`try_lock_local` on this lock,
     /// used at most once, on the acquiring thread.
-    unsafe fn unlock_local(&self, token: Self::Token, pass_local: bool, release_global: impl FnOnce());
+    unsafe fn unlock_local(
+        &self,
+        token: Self::Token,
+        pass_local: bool,
+        release_global: impl FnOnce(),
+    );
 }
 
 /// Outcome of an abortable local acquisition attempt.

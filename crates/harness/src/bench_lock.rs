@@ -6,6 +6,7 @@
 //! argument the cohort lock itself uses for its global token).
 
 use base_locks::{RawAbortableLock, RawLock};
+use cohort::CohortStats;
 use std::cell::UnsafeCell;
 
 /// A lock as the benchmark harness sees it: acquire/release, optionally
@@ -28,6 +29,19 @@ pub trait BenchLock: Send + Sync {
     /// Whether `acquire_with_patience` can actually time out.
     fn is_abortable(&self) -> bool {
         false
+    }
+
+    /// Tenure statistics, for cohort locks (`None` for every other
+    /// algorithm). Routed through the policy's per-cluster counters; see
+    /// [`cohort::CohortStats`].
+    fn cohort_stats(&self) -> Option<CohortStats> {
+        None
+    }
+
+    /// Label of the handoff policy actually installed (`None` for
+    /// non-cohort locks) — e.g. `"count(64)"`.
+    fn policy_label(&self) -> Option<String> {
+        None
     }
 }
 
@@ -120,6 +134,105 @@ impl<L: RawAbortableLock> BenchLock for AbortableAdapter<L> {
 
     fn is_abortable(&self) -> bool {
         true
+    }
+}
+
+/// Locks that expose cohort tenure statistics — implemented for every
+/// [`cohort::CohortLock`] composition, whatever its policy.
+pub trait HasCohortStats {
+    /// Snapshot of the per-cluster tenure counters.
+    fn stats(&self) -> CohortStats;
+
+    /// Label of the installed policy (e.g. `"count(64)"`).
+    fn policy_label(&self) -> String;
+}
+
+impl<G, L, P> HasCohortStats for cohort::CohortLock<G, L, P>
+where
+    G: cohort::GlobalLock,
+    L: cohort::LocalCohortLock,
+    P: cohort::HandoffPolicy,
+{
+    fn stats(&self) -> CohortStats {
+        self.cohort_stats()
+    }
+
+    fn policy_label(&self) -> String {
+        self.policy().label()
+    }
+}
+
+/// [`RawAdapter`] for cohort locks: additionally surfaces
+/// [`BenchLock::cohort_stats`].
+pub struct CohortAdapter<L: RawLock + HasCohortStats> {
+    inner: RawAdapter<L>,
+}
+
+impl<L: RawLock + HasCohortStats> CohortAdapter<L> {
+    /// Wraps `lock`.
+    pub fn new(lock: L) -> Self {
+        CohortAdapter {
+            inner: RawAdapter::new(lock),
+        }
+    }
+}
+
+impl<L: RawLock + HasCohortStats> BenchLock for CohortAdapter<L> {
+    fn acquire(&self) {
+        self.inner.acquire();
+    }
+
+    fn release(&self) {
+        self.inner.release();
+    }
+
+    fn cohort_stats(&self) -> Option<CohortStats> {
+        Some(self.inner.inner().stats())
+    }
+
+    fn policy_label(&self) -> Option<String> {
+        Some(self.inner.inner().policy_label())
+    }
+}
+
+/// [`AbortableAdapter`] for abortable cohort locks: additionally surfaces
+/// [`BenchLock::cohort_stats`].
+pub struct CohortAbortableAdapter<L: RawAbortableLock + HasCohortStats> {
+    inner: AbortableAdapter<L>,
+}
+
+impl<L: RawAbortableLock + HasCohortStats> CohortAbortableAdapter<L> {
+    /// Wraps `lock`.
+    pub fn new(lock: L) -> Self {
+        CohortAbortableAdapter {
+            inner: AbortableAdapter::new(lock),
+        }
+    }
+}
+
+impl<L: RawAbortableLock + HasCohortStats> BenchLock for CohortAbortableAdapter<L> {
+    fn acquire(&self) {
+        self.inner.acquire();
+    }
+
+    fn release(&self) {
+        self.inner.release();
+    }
+
+    fn acquire_with_patience(&self, patience_ns: u64) -> bool {
+        self.inner.acquire_with_patience(patience_ns)
+    }
+
+    fn is_abortable(&self) -> bool {
+        true
+    }
+
+    fn cohort_stats(&self) -> Option<CohortStats> {
+        Some(self.inner.lock.stats())
+    }
+
+    fn policy_label(&self) -> Option<String> {
+        Some(self.inner.lock.policy_label())
     }
 }
 

@@ -13,10 +13,14 @@
 //!   object-safe interface (including `pthread` as a parking-lot futex
 //!   mutex);
 //! * [`LockKind`] — the registry mapping the paper's lock names to
-//!   constructors, with the exact lock sets of each figure/table;
+//!   constructors, with the exact lock sets of each figure/table; cohort
+//!   kinds can also be built with any [`PolicySpec`]-described handoff
+//!   policy ([`LockKind::make_with_policy`]);
 //! * [`run_lbench`] — the measurement loop, in virtual-time mode
 //!   (hardware-independent, see DESIGN.md §2) or wall mode (for real
-//!   NUMA boxes).
+//!   NUMA boxes). Cohort runs additionally report per-tenure handoff
+//!   statistics (tenures, migrations per tenure, mean/max streak) from
+//!   the policy's counters.
 
 #![warn(missing_docs)]
 
@@ -26,6 +30,10 @@ mod registry;
 mod runner;
 pub mod stats;
 
-pub use bench_lock::{AbortableAdapter, BenchLock, PthreadLock, RawAdapter};
+pub use bench_lock::{
+    AbortableAdapter, BenchLock, CohortAbortableAdapter, CohortAdapter, HasCohortStats,
+    PthreadLock, RawAdapter,
+};
+pub use cohort::{CohortStats, PolicySpec};
 pub use registry::LockKind;
 pub use runner::{run_lbench, run_lbench_on, LBenchConfig, LBenchResult, Placement, TimeMode};

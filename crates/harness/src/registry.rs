@@ -1,7 +1,12 @@
 //! The lock registry: every algorithm of the evaluation behind one name.
 
-use crate::bench_lock::{AbortableAdapter, BenchLock, PthreadLock, RawAdapter};
-use cohort::{AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt};
+use crate::bench_lock::{
+    AbortableAdapter, BenchLock, CohortAbortableAdapter, CohortAdapter, PthreadLock, RawAdapter,
+};
+use cohort::{
+    AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt, CohortLock, DynPolicy, GlobalBoLock,
+    LocalAClhLock, LocalAboLock, LocalBoLock, LocalMcsLock, LocalTicketLock, PolicySpec,
+};
 use numa_baselines::{FcMcsLock, HboLock, HboParams, HclhLock};
 use numa_topology::Topology;
 use std::sync::Arc;
@@ -95,20 +100,78 @@ impl LockKind {
             ))),
             LockKind::Hclh => Arc::new(RawAdapter::new(HclhLock::new(Arc::clone(topo)))),
             LockKind::FcMcs => Arc::new(RawAdapter::new(FcMcsLock::new(Arc::clone(topo)))),
-            LockKind::CBoBo => Arc::new(RawAdapter::new(CBoBo::new(Arc::clone(topo)))),
-            LockKind::CTktTkt => Arc::new(RawAdapter::new(CTktTkt::new(Arc::clone(topo)))),
-            LockKind::CBoMcs => Arc::new(RawAdapter::new(CBoMcs::new(Arc::clone(topo)))),
-            LockKind::CTktMcs => Arc::new(RawAdapter::new(CTktMcs::new(Arc::clone(topo)))),
-            LockKind::CMcsMcs => Arc::new(RawAdapter::new(CMcsMcs::new(Arc::clone(topo)))),
-            LockKind::AClh => {
-                Arc::new(AbortableAdapter::new(base_locks::AbortableClhLock::new()))
-            }
+            LockKind::CBoBo => Arc::new(CohortAdapter::new(CBoBo::new(Arc::clone(topo)))),
+            LockKind::CTktTkt => Arc::new(CohortAdapter::new(CTktTkt::new(Arc::clone(topo)))),
+            LockKind::CBoMcs => Arc::new(CohortAdapter::new(CBoMcs::new(Arc::clone(topo)))),
+            LockKind::CTktMcs => Arc::new(CohortAdapter::new(CTktMcs::new(Arc::clone(topo)))),
+            LockKind::CMcsMcs => Arc::new(CohortAdapter::new(CMcsMcs::new(Arc::clone(topo)))),
+            LockKind::AClh => Arc::new(AbortableAdapter::new(base_locks::AbortableClhLock::new())),
             LockKind::AHbo => Arc::new(AbortableAdapter::new(HboLock::with_params(
                 Arc::clone(topo),
                 HboParams::microbench_tuned(),
             ))),
-            LockKind::ACBoBo => Arc::new(AbortableAdapter::new(AcBoBo::new(Arc::clone(topo)))),
-            LockKind::ACBoClh => Arc::new(AbortableAdapter::new(AcBoClh::new(Arc::clone(topo)))),
+            LockKind::ACBoBo => {
+                Arc::new(CohortAbortableAdapter::new(AcBoBo::new(Arc::clone(topo))))
+            }
+            LockKind::ACBoClh => {
+                Arc::new(CohortAbortableAdapter::new(AcBoClh::new(Arc::clone(topo))))
+            }
+        }
+    }
+
+    /// Instantiates the lock over `topo`, honoring `policy` when set and
+    /// applicable — the one-stop constructor for harnesses with an
+    /// optional policy knob.
+    pub fn make_with_optional_policy(
+        self,
+        topo: &Arc<Topology>,
+        policy: Option<PolicySpec>,
+    ) -> Arc<dyn BenchLock> {
+        match policy {
+            Some(spec) if self.is_cohort() => self.make_with_policy(topo, spec),
+            _ => self.make(topo),
+        }
+    }
+
+    /// Instantiates the lock over `topo` with an explicit handoff policy.
+    ///
+    /// Cohort locks are built as `CohortLock<G, L, DynPolicy>` carrying
+    /// `policy.build()`; for every other (non-cohort) kind the policy does
+    /// not apply and plain [`make`](Self::make) is used.
+    pub fn make_with_policy(self, topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock> {
+        fn cohort<G, L>(topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock>
+        where
+            G: cohort::GlobalLock + Default + 'static,
+            L: cohort::LocalCohortLock + Default + 'static,
+        {
+            Arc::new(CohortAdapter::new(
+                CohortLock::<G, L, DynPolicy>::with_handoff_policy(
+                    Arc::clone(topo),
+                    policy.build(),
+                ),
+            ))
+        }
+        fn abortable<G, L>(topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock>
+        where
+            G: cohort::AbortableGlobalLock + Default + 'static,
+            L: cohort::AbortableLocalCohortLock + Default + 'static,
+        {
+            Arc::new(CohortAbortableAdapter::new(
+                CohortLock::<G, L, DynPolicy>::with_handoff_policy(
+                    Arc::clone(topo),
+                    policy.build(),
+                ),
+            ))
+        }
+        match self {
+            LockKind::CBoBo => cohort::<GlobalBoLock, LocalBoLock>(topo, policy),
+            LockKind::CTktTkt => cohort::<base_locks::TicketLock, LocalTicketLock>(topo, policy),
+            LockKind::CBoMcs => cohort::<GlobalBoLock, LocalMcsLock>(topo, policy),
+            LockKind::CTktMcs => cohort::<base_locks::TicketLock, LocalMcsLock>(topo, policy),
+            LockKind::CMcsMcs => cohort::<base_locks::McsLock, LocalMcsLock>(topo, policy),
+            LockKind::ACBoBo => abortable::<GlobalBoLock, LocalAboLock>(topo, policy),
+            LockKind::ACBoClh => abortable::<GlobalBoLock, LocalAClhLock>(topo, policy),
+            _ => self.make(topo),
         }
     }
 
@@ -205,5 +268,53 @@ mod tests {
         assert!(LockKind::ACBoClh.is_cohort());
         assert!(!LockKind::FcMcs.is_cohort());
         assert!(!LockKind::Hbo.is_cohort());
+    }
+
+    #[test]
+    fn cohort_kinds_report_stats_and_others_do_not() {
+        let topo = Arc::new(Topology::new(4));
+        for kind in [LockKind::CBoBo, LockKind::CTktMcs, LockKind::ACBoClh] {
+            let lock = kind.make(&topo);
+            lock.acquire();
+            lock.release();
+            let stats = lock.cohort_stats().expect("cohort locks expose stats");
+            assert_eq!(stats.tenures(), 1, "{kind}");
+            assert_eq!(stats.global_releases(), 1, "{kind}");
+        }
+        assert!(LockKind::Mcs.make(&topo).cohort_stats().is_none());
+        assert!(LockKind::Pthread.make(&topo).cohort_stats().is_none());
+    }
+
+    #[test]
+    fn make_with_policy_builds_every_cohort_kind() {
+        let topo = Arc::new(Topology::new(4));
+        let cohorts = [
+            LockKind::CBoBo,
+            LockKind::CTktTkt,
+            LockKind::CBoMcs,
+            LockKind::CTktMcs,
+            LockKind::CMcsMcs,
+            LockKind::ACBoBo,
+            LockKind::ACBoClh,
+        ];
+        for kind in cohorts {
+            for policy in [
+                PolicySpec::Count { bound: 3 },
+                PolicySpec::Time { budget_ns: 10_000 },
+                PolicySpec::Adaptive { min: 2, max: 8 },
+                PolicySpec::Unbounded,
+                PolicySpec::NeverPass,
+            ] {
+                let lock = kind.make_with_policy(&topo, policy);
+                lock.acquire();
+                lock.release();
+                assert!(lock.cohort_stats().is_some(), "{kind} under {policy}");
+            }
+        }
+        // Non-cohort kinds fall back to the plain constructor.
+        let mcs = LockKind::Mcs.make_with_policy(&topo, PolicySpec::NeverPass);
+        mcs.acquire();
+        mcs.release();
+        assert!(mcs.cohort_stats().is_none());
     }
 }

@@ -19,6 +19,7 @@ use crate::bench_lock::BenchLock;
 use crate::pace::{kappa_for, spin_wall};
 use crate::registry::LockKind;
 use coherence_sim::{take_thread_stats, CostModel, Directory, HandoffChannel};
+use cohort::PolicySpec;
 use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -92,6 +93,9 @@ pub struct LBenchConfig {
     pub placement: Placement,
     /// `Some(patience)` switches to abortable acquisition (Figure 6).
     pub patience_ns: Option<u64>,
+    /// Handoff policy for cohort locks (`None` = each lock's default,
+    /// i.e. the paper's `CountBound(64)`). Ignored by non-cohort locks.
+    pub policy: Option<PolicySpec>,
     /// Wall-clock safety net: the run is cut off after this much real time
     /// regardless of virtual progress.
     pub max_wall: Duration,
@@ -114,6 +118,7 @@ impl Default for LBenchConfig {
             cost: CostModel::t5440(),
             placement: Placement::RoundRobin,
             patience_ns: None,
+            policy: None,
             max_wall: Duration::from_secs(20),
             mode: TimeMode::Virtual,
         }
@@ -148,6 +153,19 @@ pub struct LBenchResult {
     pub abort_rate: f64,
     /// Standard deviation of per-thread throughput as % of mean (Figure 5).
     pub stddev_pct: f64,
+    /// Handoff-policy label of the run (`None` for non-cohort locks).
+    pub policy: Option<String>,
+    /// Cohort tenures (global-lock acquisitions) — 0 for non-cohort locks.
+    pub tenures: u64,
+    /// Intra-cluster handoffs — 0 for non-cohort locks.
+    pub local_handoffs: u64,
+    /// Mean local-handoff streak per tenure (from the policy counters).
+    pub mean_streak: f64,
+    /// Longest local-handoff streak of any tenure.
+    pub max_streak: u64,
+    /// Cross-cluster migrations per cohort tenure (NaN-free: 0 when no
+    /// tenures were observed).
+    pub migrations_per_tenure: f64,
     /// Power-of-two histogram of same-cluster batch lengths (bucket i
     /// counts batches of length in [2^i, 2^(i+1)); §4.1.2's batching).
     pub batch_hist: Vec<u64>,
@@ -165,10 +183,11 @@ fn cluster_for(i: usize, cfg: &LBenchConfig) -> ClusterId {
     }
 }
 
-/// Runs LBench for `kind` under `cfg`.
+/// Runs LBench for `kind` under `cfg` (honoring `cfg.policy` for cohort
+/// locks).
 pub fn run_lbench(kind: LockKind, cfg: &LBenchConfig) -> LBenchResult {
     let topo = Arc::new(Topology::new(cfg.clusters));
-    let lock = kind.make(&topo);
+    let lock = kind.make_with_optional_policy(&topo, cfg.policy);
     run_lbench_on(kind, lock, topo, cfg)
 }
 
@@ -293,9 +312,7 @@ pub fn run_lbench_on(
                             while (t0.elapsed().as_nanos() as u64) < idle {
                                 std::hint::spin_loop();
                             }
-                            if wall_start.elapsed().as_nanos()
-                                >= cfg.window_ns as u128
-                            {
+                            if wall_start.elapsed().as_nanos() >= cfg.window_ns as u128 {
                                 stop.store(true, Ordering::Relaxed);
                             }
                         }
@@ -328,6 +345,18 @@ pub fn run_lbench_on(
     let window_s = cfg.window_ns as f64 / 1e9;
     let (mean, stddev_pct) = crate::stats::mean_stddev_pct(&per_thread_ops);
     let _ = mean;
+    // Tenure statistics from the cohort policy's counters (zeros for
+    // non-cohort locks, which have no tenure notion).
+    let cstats = lock.cohort_stats();
+    let (tenures, local_handoffs, mean_streak, max_streak) = match &cstats {
+        Some(s) => (
+            s.tenures(),
+            s.local_handoffs(),
+            s.mean_streak(),
+            s.max_streak(),
+        ),
+        None => (0, 0, 0.0, 0),
+    };
     LBenchResult {
         kind,
         threads: cfg.threads,
@@ -353,6 +382,16 @@ pub fn run_lbench_on(
             0.0
         },
         stddev_pct,
+        policy: lock.policy_label(),
+        tenures,
+        local_handoffs,
+        mean_streak,
+        max_streak,
+        migrations_per_tenure: if tenures > 0 {
+            migrations as f64 / tenures as f64
+        } else {
+            0.0
+        },
         batch_hist: handoff.batches().snapshot().to_vec(),
         per_thread_ops,
         wall: started.elapsed(),
@@ -387,6 +426,35 @@ mod tests {
         assert_eq!(r.total_ops, r.per_thread_ops.iter().sum::<u64>());
         assert!(r.acquisitions >= r.total_ops);
         assert!(r.misses_per_cs >= 0.0);
+        // Cohort runs report tenure statistics from the policy counters.
+        assert_eq!(r.policy.as_deref(), Some("count(64)"));
+        assert_eq!(r.tenures + r.local_handoffs, r.total_ops);
+        assert!(r.max_streak <= 64);
+        assert!(r.mean_streak >= 0.0);
+    }
+
+    #[test]
+    fn non_cohort_run_has_no_tenure_stats() {
+        let r = run_lbench(LockKind::Ticket, &quick_cfg(2));
+        assert_eq!(r.policy, None);
+        assert_eq!(r.tenures, 0);
+        assert_eq!(r.local_handoffs, 0);
+        assert_eq!(r.migrations_per_tenure, 0.0);
+    }
+
+    #[test]
+    fn config_policy_is_honored_and_labelled() {
+        let mut cfg = quick_cfg(4);
+        cfg.policy = Some(cohort::PolicySpec::NeverPass);
+        let r = run_lbench(LockKind::CTktMcs, &cfg);
+        assert_eq!(r.policy.as_deref(), Some("never-pass"));
+        assert_eq!(r.local_handoffs, 0, "NeverPass forbids local handoffs");
+        assert_eq!(r.tenures, r.total_ops);
+
+        cfg.policy = Some(cohort::PolicySpec::Count { bound: 2 });
+        let r = run_lbench(LockKind::CBoMcs, &cfg);
+        assert_eq!(r.policy.as_deref(), Some("count(2)"));
+        assert!(r.max_streak <= 2, "bound 2 violated: {}", r.max_streak);
     }
 
     #[test]

@@ -72,7 +72,10 @@ mod tests {
             capacity: 1024,
             ..Default::default()
         };
-        let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+        let dir = Arc::new(Directory::new(
+            KvStore::lines_needed(&cfg),
+            CostModel::t5440(),
+        ));
         Arc::new(SharedKvStore::new(lock, KvStore::new(cfg, dir)))
     }
 
@@ -108,7 +111,7 @@ mod tests {
         let s = shared(Arc::new(PthreadLock::new()));
         let cl = ClusterId::new(1);
         s.set(9, 90, cl);
-        assert_eq!(s.with_lock(|st| st.delete(9, cl)), true);
+        assert!(s.with_lock(|st| st.delete(9, cl)));
         assert_eq!(s.get(9, cl), None);
     }
 

@@ -337,7 +337,10 @@ mod tests {
             capacity: 8,
             ..Default::default()
         };
-        let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+        let dir = Arc::new(Directory::new(
+            KvStore::lines_needed(&cfg),
+            CostModel::t5440(),
+        ));
         KvStore::new(cfg, dir)
     }
 
@@ -407,7 +410,10 @@ mod tests {
             capacity: 64,
             ..Default::default()
         };
-        let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+        let dir = Arc::new(Directory::new(
+            KvStore::lines_needed(&cfg),
+            CostModel::t5440(),
+        ));
         let mut s = KvStore::new(cfg, dir);
         for k in 0..32 {
             s.set(k, k * 10, C0);

@@ -12,7 +12,7 @@ use crate::shared::SharedKvStore;
 use crate::store::{KvConfig, KvStore};
 use coherence_sim::{CostModel, Directory, HandoffChannel};
 use lbench::pace::{kappa_for, spin_wall};
-use lbench::LockKind;
+use lbench::{LockKind, PolicySpec};
 use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +43,10 @@ pub struct KvWorkload {
     pub cost: CostModel,
     /// Wall-clock safety net.
     pub max_wall: Duration,
+    /// Handoff policy for the cache lock when it is a cohort lock
+    /// (`None` = the lock's default, the paper's `CountBound(64)`).
+    /// Ignored for non-cohort cache locks.
+    pub policy: Option<PolicySpec>,
 }
 
 impl Default for KvWorkload {
@@ -57,6 +61,7 @@ impl Default for KvWorkload {
             store: KvConfig::default(),
             cost: CostModel::t5440(),
             max_wall: Duration::from_secs(60),
+            policy: None,
         }
     }
 }
@@ -78,6 +83,13 @@ pub struct KvRunResult {
     pub migrations: u64,
     /// Cache-lock acquisitions observed.
     pub acquisitions: u64,
+    /// Handoff-policy label (`None` when the cache lock is not a cohort
+    /// lock).
+    pub policy: Option<String>,
+    /// Cache-lock tenures (0 for non-cohort locks).
+    pub tenures: u64,
+    /// Mean local-handoff streak per tenure (0 for non-cohort locks).
+    pub mean_streak: f64,
     /// Real time of the run.
     pub wall: Duration,
 }
@@ -85,9 +97,12 @@ pub struct KvRunResult {
 /// Runs the workload with `kind` as the cache lock.
 pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
     let topo = Arc::new(Topology::new(w.clusters));
-    let lock = kind.make(&topo);
+    let lock = kind.make_with_optional_policy(&topo, w.policy);
     let dir = Arc::new(Directory::new(KvStore::lines_needed(&w.store), w.cost));
-    let store = Arc::new(SharedKvStore::new(lock, KvStore::new(w.store, Arc::clone(&dir))));
+    let store = Arc::new(SharedKvStore::new(
+        lock,
+        KvStore::new(w.store, Arc::clone(&dir)),
+    ));
     let handoff = Arc::new(HandoffChannel::new(w.cost));
 
     // Warm phase: populate the keyspace (mirrors memaslap's preload).
@@ -124,7 +139,7 @@ pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
                 let mut check = 0u32;
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.gen_range(0..w.keyspace);
-                    let is_get = rng.gen_range(0..100) < w.get_pct;
+                    let is_get = rng.gen_range(0u32..100) < w.get_pct;
                     store.with_lock(|s| {
                         handoff.on_acquire(my_cluster);
                         let cs_start = vclock::now();
@@ -161,6 +176,7 @@ pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
     for h in handles {
         total_ops += h.join().expect("kv worker panicked");
     }
+    let cstats = store.lock().cohort_stats();
     KvRunResult {
         kind,
         threads: w.threads,
@@ -169,6 +185,9 @@ pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
         throughput: total_ops as f64 / (w.window_ns as f64 / 1e9),
         migrations: handoff.migrations(),
         acquisitions: handoff.acquisitions(),
+        policy: store.lock().policy_label(),
+        tenures: cstats.as_ref().map(|s| s.tenures()).unwrap_or(0),
+        mean_streak: cstats.as_ref().map(|s| s.mean_streak()).unwrap_or(0.0),
         wall: started.elapsed(),
     }
 }
@@ -204,6 +223,29 @@ mod tests {
         let r = run_kv(LockKind::CTktMcs, &quick(4, 10));
         assert!(r.total_ops > 100);
         assert!(r.acquisitions >= r.total_ops);
+    }
+
+    #[test]
+    fn cache_lock_policy_is_selectable() {
+        let mut w = quick(8, 50);
+        w.policy = Some(PolicySpec::NeverPass);
+        let r = run_kv(LockKind::CBoMcs, &w);
+        assert_eq!(r.policy.as_deref(), Some("never-pass"));
+        assert!(r.total_ops > 0);
+        assert_eq!(r.mean_streak, 0.0, "NeverPass forbids local handoffs");
+        // Every acquisition is a tenure; the policy also sees the warm
+        // phase's populate acquisition, which the handoff channel doesn't.
+        assert_eq!(r.tenures, r.acquisitions + 1);
+
+        w.policy = Some(PolicySpec::Count { bound: 8 });
+        let r = run_kv(LockKind::CBoMcs, &w);
+        assert_eq!(r.policy.as_deref(), Some("count(8)"));
+        assert!(r.tenures > 0);
+
+        // Non-cohort cache locks ignore the policy and report no tenures.
+        let r = run_kv(LockKind::Mcs, &w);
+        assert_eq!(r.policy, None);
+        assert_eq!(r.tenures, 0);
     }
 
     #[test]

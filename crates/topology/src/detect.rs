@@ -35,7 +35,10 @@ pub fn parse_cpulist(s: &str) -> Option<Vec<usize>> {
         let part = part.trim();
         match part.split_once('-') {
             Some((a, b)) => {
-                let (a, b) = (a.trim().parse::<usize>().ok()?, b.trim().parse::<usize>().ok()?);
+                let (a, b) = (
+                    a.trim().parse::<usize>().ok()?,
+                    b.trim().parse::<usize>().ok()?,
+                );
                 if a > b {
                     return None;
                 }
@@ -118,8 +121,14 @@ mod tests {
         assert_eq!(
             nodes,
             vec![
-                NumaNode { id: 0, cpus: vec![0, 1, 2, 3] },
-                NumaNode { id: 1, cpus: vec![4, 5, 6, 7] },
+                NumaNode {
+                    id: 0,
+                    cpus: vec![0, 1, 2, 3]
+                },
+                NumaNode {
+                    id: 1,
+                    cpus: vec![4, 5, 6, 7]
+                },
             ]
         );
         std::fs::remove_dir_all(&dir).unwrap();

@@ -18,7 +18,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("write-heavy key-value workload, {} threads:\n", base.threads);
+    println!(
+        "write-heavy key-value workload, {} threads:\n",
+        base.threads
+    );
     let mut baseline = None;
     for kind in [LockKind::Pthread, LockKind::Mcs, LockKind::CTktMcs] {
         let r = run_kv(kind, &base);

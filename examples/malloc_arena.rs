@@ -16,7 +16,10 @@ fn main() {
         window_ns: 5_000_000,
         ..Default::default()
     };
-    println!("mmicro (64-byte malloc/free pairs), {} threads:\n", w.threads);
+    println!(
+        "mmicro (64-byte malloc/free pairs), {} threads:\n",
+        w.threads
+    );
     for kind in [
         LockKind::Pthread,
         LockKind::Mcs,

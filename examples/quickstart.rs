@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lock_cohorting::cohort::{CBoMcs, CohortMutex, PassPolicy};
+use lock_cohorting::cohort::{CBoMcs, CohortMutex};
 use lock_cohorting::numa_topology::Topology;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,8 +52,20 @@ fn main() {
         topo.clusters(),
         t0.elapsed()
     );
+
+    // Every cohort lock reports its tenure behaviour — how often the
+    // global lock changed hands vs. how often it was passed within a
+    // cluster. The fairness policy is pluggable (HandoffPolicy):
+    // CountBound(64) here, or TimeBound / AdaptiveBound / Unbounded /
+    // NeverPass via CohortLock::with_handoff_policy.
+    let lock = counter.raw();
+    let stats = lock.cohort_stats();
     println!(
-        "fairness policy: {:?} (the paper's default bound of 64)",
-        PassPolicy::paper_default()
+        "fairness policy: {:?} — {} tenures, {} local handoffs, mean streak {:.1}, max streak {}",
+        lock.policy(),
+        stats.tenures(),
+        stats.local_handoffs(),
+        stats.mean_streak(),
+        stats.max_streak()
     );
 }

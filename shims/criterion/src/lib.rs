@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with the real import
+//! paths. Instead of criterion's statistical machinery it takes a short
+//! calibrated run and reports mean ns/iter, which is enough for the
+//! relative comparisons the benches make. When invoked by `cargo test`
+//! (the `--test` flag criterion also honors), benches run one iteration
+//! each as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness passes --test; run each bench
+        // once, just proving it executes.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\nbench group: {name}");
+        BenchmarkGroup { smoke: self.smoke }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.smoke, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup {
+    smoke: bool,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.smoke, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, smoke: bool, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: if smoke { 1 } else { 0 },
+        elapsed: Duration::ZERO,
+        done: 0,
+    };
+    f(&mut b);
+    if b.done > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.done as f64;
+        println!("  {name:<40} {ns:>12.1} ns/iter ({} iters)", b.done);
+    } else {
+        println!("  {name:<40} (no iterations)");
+    }
+}
+
+/// Passed to each benchmark closure; drives the measured loop.
+pub struct Bencher {
+    /// 0 = auto-calibrate; otherwise the exact iteration count.
+    iters: u64,
+    elapsed: Duration,
+    done: u64,
+}
+
+impl Bencher {
+    /// Measures repeated executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let n = if self.iters > 0 {
+            self.iters
+        } else {
+            // Calibrate: aim for ~20 ms of measured work, capped.
+            let t0 = Instant::now();
+            black_box(routine());
+            let once = t0.elapsed().max(Duration::from_nanos(20));
+            ((Duration::from_millis(20).as_nanos() / once.as_nanos()) as u64).clamp(10, 200_000)
+        };
+        let t0 = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed += t0.elapsed();
+        self.done += n;
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates a `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion { smoke: false };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_roundtrip() {
+        let mut c = Criterion { smoke: true };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| black_box(3) * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for the `parking_lot` crate (see `shims/README.md`).
+//!
+//! Provides a blocking [`RawMutex`] with the `lock_api` trait shape the
+//! harness uses as its "pthread lock" column. The real parking_lot parks
+//! waiters on a futex; this shim parks them on a `Condvar` — both block in
+//! the kernel instead of spinning, which is the property the benchmark
+//! compares against.
+
+#![warn(missing_docs)]
+
+use std::sync::{Condvar, Mutex};
+
+/// The subset of `parking_lot::lock_api` this workspace needs.
+pub mod lock_api {
+    /// A raw mutex: lock/unlock without an RAII guard.
+    pub trait RawMutex {
+        /// An unlocked mutex, usable in constant initializers.
+        const INIT: Self;
+
+        /// Acquires the mutex, blocking until it is available.
+        fn lock(&self);
+
+        /// Attempts to acquire the mutex without blocking.
+        fn try_lock(&self) -> bool;
+
+        /// Releases the mutex.
+        ///
+        /// # Safety
+        ///
+        /// Must only be called by the current holder.
+        unsafe fn unlock(&self);
+    }
+}
+
+/// A blocking OS mutex: waiters sleep in the kernel (condvar parking).
+pub struct RawMutex {
+    locked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex {
+        locked: Mutex::new(false),
+        cv: Condvar::new(),
+    };
+
+    fn lock(&self) {
+        let mut held = self.locked.lock().unwrap();
+        while *held {
+            held = self.cv.wait(held).unwrap();
+        }
+        *held = true;
+    }
+
+    fn try_lock(&self) -> bool {
+        let mut held = self.locked.lock().unwrap();
+        if *held {
+            false
+        } else {
+            *held = true;
+            true
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        *self.locked.lock().unwrap() = false;
+        self.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::RawMutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion() {
+        let m = Arc::new(RawMutex::INIT);
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        m.lock();
+                        let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                        counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                        unsafe { m.unlock() };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 4_000);
+    }
+
+    #[test]
+    fn try_lock_contends() {
+        let m = RawMutex::INIT;
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        unsafe { m.unlock() };
+        assert!(m.try_lock());
+        unsafe { m.unlock() };
+    }
+}

@@ -1,0 +1,30 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s of `element` values with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}

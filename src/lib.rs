@@ -3,10 +3,10 @@
 //! through one dependency. See README.md for the tour and DESIGN.md for
 //! the reproduction methodology.
 pub use base_locks;
+pub use coherence_sim;
 pub use cohort;
 pub use cohort_alloc;
 pub use cohort_kvstore;
-pub use coherence_sim;
 pub use lbench;
 pub use numa_baselines;
 pub use numa_topology;

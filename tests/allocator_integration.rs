@@ -1,8 +1,8 @@
 //! Integration: the allocator stays coherent under concurrent use through
 //! cohort locks (double-free panics inside would fail the test).
 
-use cohort_alloc::{MiniAlloc, MiniAllocConfig};
 use coherence_sim::{CostModel, Directory};
+use cohort_alloc::{MiniAlloc, MiniAllocConfig};
 use lbench::{BenchLock, LockKind};
 use numa_topology::{current_cluster_in, Topology};
 use std::cell::UnsafeCell;
@@ -27,7 +27,10 @@ impl Guarded {
 fn churn(kind: LockKind) {
     let topo = Arc::new(Topology::new(4));
     let cfg = MiniAllocConfig::default();
-    let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&cfg), CostModel::t5440()));
+    let dir = Arc::new(Directory::new(
+        MiniAlloc::lines_needed(&cfg),
+        CostModel::t5440(),
+    ));
     let g = Arc::new(Guarded {
         lock: kind.make(&topo),
         alloc: UnsafeCell::new(MiniAlloc::new(cfg, dir)),

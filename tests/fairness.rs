@@ -14,7 +14,12 @@ fn run_with_bound(policy: PassPolicy) -> f64 {
         window_ns: 3_000_000,
         ..Default::default()
     };
-    let r = run_lbench_on(LockKind::CBoMcs, Arc::new(RawAdapter::new(lock)), topo, &cfg);
+    let r = run_lbench_on(
+        LockKind::CBoMcs,
+        Arc::new(RawAdapter::new(lock)),
+        topo,
+        &cfg,
+    );
     r.mean_batch
 }
 
@@ -28,7 +33,10 @@ fn tighter_bound_means_shorter_batches() {
     );
     // A batch can slightly exceed the bound (the same cluster may re-win
     // the global lock), but the bound must still be the dominant term.
-    assert!(tight <= 16.0, "bound 4 should cap batches near 4, got {tight:.1}");
+    assert!(
+        tight <= 16.0,
+        "bound 4 should cap batches near 4, got {tight:.1}"
+    );
 }
 
 #[test]
@@ -36,5 +44,8 @@ fn never_pass_policy_disables_batching() {
     let batch = run_with_bound(PassPolicy::NeverPass);
     // Without local handoffs every release goes global; batches form only
     // when one cluster re-wins the global race.
-    assert!(batch <= 8.0, "NeverPass should kill batching, got {batch:.1}");
+    assert!(
+        batch <= 8.0,
+        "NeverPass should kill batching, got {batch:.1}"
+    );
 }

@@ -1,7 +1,7 @@
 //! Integration: the key-value store is correct under every cohort lock.
 
-use cohort_kvstore::{KvConfig, KvStore, SharedKvStore};
 use coherence_sim::{CostModel, Directory};
+use cohort_kvstore::{KvConfig, KvStore, SharedKvStore};
 use lbench::LockKind;
 use numa_topology::{current_cluster_in, Topology};
 use std::sync::Arc;
@@ -12,7 +12,10 @@ fn shared(kind: LockKind, topo: &Arc<Topology>) -> Arc<SharedKvStore> {
         capacity: 4096,
         ..Default::default()
     };
-    let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+    let dir = Arc::new(Directory::new(
+        KvStore::lines_needed(&cfg),
+        CostModel::t5440(),
+    ));
     Arc::new(SharedKvStore::new(kind.make(topo), KvStore::new(cfg, dir)))
 }
 
@@ -78,7 +81,10 @@ fn eviction_pressure_under_cohort_lock() {
         capacity: 128, // tiny: constant eviction
         ..Default::default()
     };
-    let dir = Arc::new(Directory::new(KvStore::lines_needed(&cfg), CostModel::t5440()));
+    let dir = Arc::new(Directory::new(
+        KvStore::lines_needed(&cfg),
+        CostModel::t5440(),
+    ));
     let store = Arc::new(SharedKvStore::new(
         LockKind::CTktMcs.make(&topo),
         KvStore::new(cfg, dir),
@@ -100,6 +106,9 @@ fn eviction_pressure_under_cohort_lock() {
         h.join().unwrap();
     }
     let st = store.stats();
-    assert!(st.evictions > 0, "capacity 128 must evict under 8000 inserts");
+    assert!(
+        st.evictions > 0,
+        "capacity 128 must evict under 8000 inserts"
+    );
     store.with_lock(|s| assert!(s.len() <= 128));
 }

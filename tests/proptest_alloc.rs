@@ -1,17 +1,21 @@
 //! Property tests: the allocator never hands out overlapping blocks and
 //! conserves arena bytes across arbitrary malloc/free interleavings.
 
-use cohort_alloc::{MiniAlloc, MiniAllocConfig};
 use coherence_sim::{CostModel, Directory};
+use cohort_alloc::{MiniAlloc, MiniAllocConfig};
 use numa_topology::ClusterId;
 use proptest::prelude::*;
 use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Malloc { size: u64 },
+    Malloc {
+        size: u64,
+    },
     /// Frees the i-th oldest live allocation (modulo live count).
-    Free { idx: usize },
+    Free {
+        idx: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -2,8 +2,8 @@
 //! LRU-eviction semantics (evictions only remove least-recently-used keys
 //! and only when at capacity).
 
-use cohort_kvstore::{KvConfig, KvStore};
 use coherence_sim::{CostModel, Directory};
+use cohort_kvstore::{KvConfig, KvStore};
 use numa_topology::ClusterId;
 use proptest::prelude::*;
 use std::collections::HashMap;

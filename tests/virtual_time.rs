@@ -1,7 +1,7 @@
 //! Integration: end-to-end properties of the virtual-time methodology.
 
-use lbench::{run_lbench, LBenchConfig, LockKind};
 use coherence_sim::CostModel;
+use lbench::{run_lbench, LBenchConfig, LockKind};
 
 #[test]
 fn numa_benefit_vanishes_on_uniform_memory() {
