@@ -38,8 +38,8 @@ fn main() {
     if let Ok(extra) = std::env::var("LBENCH_EXTRA_POLICIES") {
         for spec in extra.split(',').filter(|s| !s.trim().is_empty()) {
             match PolicySpec::parse(spec) {
-                Some(p) => policies.push(p),
-                None => eprintln!("ignoring unparseable policy spec {spec:?}"),
+                Ok(p) => policies.push(p),
+                Err(e) => eprintln!("ignoring policy spec {spec:?}: {e}"),
             }
         }
     }

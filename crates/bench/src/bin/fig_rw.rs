@@ -1,0 +1,155 @@
+//! Exhibit RW: cohort reader-writer locks across read/write mixes.
+//!
+//! The paper's Table 1 emphasizes read-heavy workloads (90% gets); its
+//! follow-on work (*NUMA-Aware Reader-Writer Locks*, PPoPP 2013) shows
+//! the cohorting transformation pays off even more once readers get a
+//! genuinely shared path. This exhibit sweeps read ratios 0/50/90/99%
+//! over:
+//!
+//! * `std-RwLock` — `std::sync::RwLock`, the NUMA-oblivious baseline;
+//! * `C-BO-MCS (excl)` — the single-writer cohort baseline (reads taken
+//!   exclusively: what every workload here did before the C-RW layer);
+//! * `C-RW-WP-BO-MCS` / `C-RW-N-BO-MCS` — the cohort RW lock under
+//!   writer preference and neutral fairness;
+//! * `C-RW-WP-TKT-MCS` — the ticket-global variant.
+//!
+//! Expected shape: all locks meet at 0% reads (the RW machinery costs
+//! little over the plain cohort lock); as the read ratio grows, the
+//! shared read path decouples reader throughput from the lock and the
+//! C-RW locks pull away from both exclusive baselines.
+//!
+//! Environment: `LBENCH_RW_THREADS` (default: `LBENCH_ABLATION_THREADS`,
+//! i.e. 32), plus the usual `LBENCH_*` knobs and `RESULTS_DIR`.
+
+use cohort_bench::{ablation_threads, base_config};
+use lbench::{run_rw_lbench, RwBenchResult, RwLockKind};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The swept read percentages (0 = LBench's pure-mutex shape; 99 ≈ the
+/// read-mostly regime NUMA-RW locks target).
+const READ_RATIOS: [u32; 4] = [0, 50, 90, 99];
+
+fn rw_threads() -> usize {
+    std::env::var("LBENCH_RW_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(ablation_threads)
+}
+
+fn write_csv(cells: &[RwBenchResult]) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir)?;
+    let path = PathBuf::from(dir).join("fig_rw.csv");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(
+        f,
+        "lock,read_pct,threads,throughput,read_ops,write_ops,exclusive_acquisitions,\
+         migrations,tenures,local_handoffs,mean_streak,max_streak,policy"
+    )?;
+    for r in cells {
+        writeln!(
+            f,
+            "{},{},{},{:.0},{},{},{},{},{},{},{:.2},{},{}",
+            r.kind.name(),
+            r.read_pct,
+            r.threads,
+            r.throughput,
+            r.read_ops,
+            r.write_ops,
+            r.exclusive_acquisitions,
+            r.migrations,
+            r.tenures,
+            r.local_handoffs,
+            r.mean_streak,
+            r.max_streak,
+            r.policy.as_deref().unwrap_or("-"),
+        )?;
+    }
+    Ok(path)
+}
+
+fn main() {
+    let threads = rw_threads();
+    eprintln!(
+        "fig_rw: {} locks x {:?} read ratios, {threads} threads",
+        RwLockKind::FIG_RW.len(),
+        READ_RATIOS
+    );
+    let mut cells = Vec::new();
+    for &read_pct in &READ_RATIOS {
+        for &kind in &RwLockKind::FIG_RW {
+            let mut cfg = base_config(threads);
+            cfg.read_pct = read_pct;
+            let r = run_rw_lbench(kind, &cfg);
+            eprintln!(
+                "  [{kind} r={read_pct}%] {:.3}e6 ops/s ({} reads / {} writes, \
+                 {:.1} mean streak, {:?} wall)",
+                r.throughput / 1e6,
+                r.read_ops,
+                r.write_ops,
+                r.mean_streak,
+                r.wall
+            );
+            cells.push(r);
+        }
+    }
+
+    // Render: one row per read ratio, one column per lock.
+    println!("\n== Exhibit RW: throughput (ops/s) by read ratio, {threads} threads ==");
+    let width = RwLockKind::FIG_RW
+        .iter()
+        .map(|k| k.name().len())
+        .max()
+        .unwrap_or(10)
+        .max(12);
+    print!("{:>8} ", "read %");
+    for kind in &RwLockKind::FIG_RW {
+        print!("{:>width$} ", kind.name());
+    }
+    println!();
+    for &read_pct in &READ_RATIOS {
+        print!("{read_pct:>8} ");
+        for kind in &RwLockKind::FIG_RW {
+            let r = cells
+                .iter()
+                .find(|c| c.kind == *kind && c.read_pct == read_pct)
+                .expect("cell present");
+            print!("{:>width$.0} ", r.throughput);
+        }
+        println!();
+    }
+    match write_csv(&cells) {
+        Ok(p) => println!("[csv written to {}]", p.display()),
+        Err(e) => eprintln!("[csv not written: {e}]"),
+    }
+
+    // Acceptance shape: at read-mostly ratios the C-RW locks must not
+    // trail the single-writer cohort baseline.
+    let mut failed = false;
+    for &read_pct in &[90u32, 99] {
+        let baseline = cells
+            .iter()
+            .find(|c| c.kind == RwLockKind::MutexCBoMcs && c.read_pct == read_pct)
+            .expect("baseline cell");
+        for kind in [RwLockKind::CRwWpBoMcs, RwLockKind::CRwNeutralBoMcs] {
+            let crw = cells
+                .iter()
+                .find(|c| c.kind == kind && c.read_pct == read_pct)
+                .expect("crw cell");
+            let ok = crw.throughput >= baseline.throughput;
+            println!(
+                "check: {kind} vs {} at {read_pct}% reads: {:.2}x {}",
+                RwLockKind::MutexCBoMcs,
+                crw.throughput / baseline.throughput.max(1.0),
+                if ok { "ok" } else { "FAILED" }
+            );
+            failed |= !ok;
+        }
+    }
+    if failed {
+        eprintln!("fig_rw: C-RW trailed the single-writer baseline on a read-mostly mix");
+        std::process::exit(1);
+    }
+}

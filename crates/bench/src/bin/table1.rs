@@ -18,9 +18,17 @@ fn main() {
     // "adaptive"); unset = the paper's count(64).
     let policy = std::env::var("KV_POLICY")
         .ok()
-        .map(|s| PolicySpec::parse(&s).unwrap_or_else(|| panic!("unparseable KV_POLICY {s:?}")));
+        .map(|s| PolicySpec::parse(&s).unwrap_or_else(|e| panic!("KV_POLICY: {e}")));
     if let Some(p) = policy {
         eprintln!("table1: cache-lock policy {p}");
+    }
+    // KV_RW=1 runs the cache lock in reader-writer mode: cohort columns
+    // become their C-RW equivalents (gets on the shared side, via the
+    // LRU-free peek), pthread becomes std::sync::RwLock, and the
+    // remaining columns keep exclusive reads.
+    let rw = std::env::var("KV_RW").is_ok_and(|v| v == "1");
+    if rw {
+        eprintln!("table1: KV_RW=1 — gets routed through the shared read path");
     }
     for &(get_pct, label) in &[
         (90u32, "90% gets / 10% sets"),
@@ -37,6 +45,7 @@ fn main() {
                 clusters: clusters(),
                 window_ns: window_ns(),
                 max_wall: Duration::from_secs(30),
+                rw,
                 ..Default::default()
             },
         );
@@ -53,6 +62,7 @@ fn main() {
                         window_ns: window_ns(),
                         max_wall: Duration::from_secs(30),
                         policy,
+                        rw,
                         ..Default::default()
                     },
                 );
@@ -68,8 +78,11 @@ fn main() {
         let policy_note = policy
             .map(|p| format!(", cohort policy {p}"))
             .unwrap_or_default();
+        let rw_note = if rw { ", RW cache lock" } else { "" };
         let mut table = Table {
-            title: format!("Table 1 ({label}{policy_note}): speedup over 1-thread pthread"),
+            title: format!(
+                "Table 1 ({label}{policy_note}{rw_note}): speedup over 1-thread pthread"
+            ),
             columns: LockKind::TABLES
                 .iter()
                 .map(|k| k.name().to_string())
@@ -89,6 +102,7 @@ fn main() {
             }
         }
         table.rows.sort_by_key(|(t, _)| *t);
-        emit(&table, &format!("table1_get{get_pct}"));
+        let suffix = if rw { "_rw" } else { "" };
+        emit(&table, &format!("table1_get{get_pct}{suffix}"));
     }
 }

@@ -32,6 +32,14 @@
 //! | [`AcBoBo`]  | BO | abortable BO | 3.6.1 |
 //! | [`AcBoClh`] | BO | abortable CLH, colocated flag | 3.6.2 |
 //!
+//! Beyond the paper's mutual-exclusion locks, the [`rwlock`] module
+//! applies the transformation to **reader-writer** locks in the style of
+//! the paper's follow-on work (*NUMA-Aware Reader-Writer Locks*, PPoPP
+//! 2013): [`CohortRwLock<G, L, P>`] runs writers through a cohort lock
+//! (tenures bounded by the same policy layer) and readers through
+//! cache-padded per-cluster counters, in two fairness flavors
+//! ([`RwFairness`]).
+//!
 //! Every cohort lock implements [`base_locks::RawLock`] (and the abortable
 //! ones [`base_locks::RawAbortableLock`]), so the [`CohortMutex`] RAII
 //! wrapper — an alias for [`base_locks::SpinMutex`] — works uniformly:
@@ -62,7 +70,7 @@
 //! assert_eq!(*counter.lock(), 8000);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod abortable;
 mod global;
@@ -73,6 +81,7 @@ mod local_mcs;
 mod local_ticket;
 mod lock;
 pub mod policy;
+pub mod rwlock;
 mod traits;
 
 pub use global::GlobalBoLock;
@@ -84,8 +93,9 @@ pub use local_ticket::LocalTicketLock;
 pub use lock::{CohortLock, CohortToken};
 pub use policy::{
     AdaptiveBound, ClusterStats, CohortStats, CountBound, DynPolicy, HandoffPolicy, HandoffTracker,
-    NeverPass, PassPolicy, PolicySpec, TenureClock, TimeBound, Unbounded,
+    NeverPass, PassPolicy, PolicyParseError, PolicySpec, TenureClock, TimeBound, Unbounded,
 };
+pub use rwlock::{CohortRwLock, RwFairness, RwReadGuard, RwReadToken, RwWriteGuard, RwWriteToken};
 pub use traits::{
     AbortableGlobalLock, AbortableLocalCohortLock, GlobalLock, LocalAbortResult, LocalCohortLock,
     Release,
@@ -124,6 +134,15 @@ pub type CohortMutex<T, CL> = SpinMutex<T, CL>;
 /// while intra-cluster handoffs stay pure spin; threads block only when
 /// their whole cluster is out of work.
 pub type CParkMcs = CohortLock<base_locks::ParkingLock, LocalMcsLock>;
+
+/// C-RW-BO-MCS: the cohort reader-writer lock over the paper's
+/// best-performing writer composition (global BO, local MCS). See
+/// [`rwlock`] for the protocol and the fairness flavors.
+pub type CRwBoMcs = CohortRwLock<GlobalBoLock, LocalMcsLock>;
+
+/// C-RW-TKT-MCS: the cohort reader-writer lock with a ticket global lock
+/// on the writer side.
+pub type CRwTktMcs = CohortRwLock<TicketLock, LocalMcsLock>;
 
 #[cfg(test)]
 mod tests {

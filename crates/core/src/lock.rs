@@ -51,6 +51,26 @@ impl<LT> CohortToken<LT> {
 /// Ready-made compositions carry the paper's names: [`CBoBo`],
 /// [`CTktTkt`], [`CBoMcs`], [`CTktMcs`], [`CMcsMcs`].
 ///
+/// ```
+/// use cohort::{CohortLock, CountBound, GlobalBoLock, LocalMcsLock};
+/// use base_locks::RawLock; // lock/unlock live on the RawLock trait
+/// use numa_topology::Topology;
+/// use std::sync::Arc;
+///
+/// let topo = Arc::new(Topology::new(4));
+/// let lock: CohortLock<GlobalBoLock, LocalMcsLock, CountBound> =
+///     CohortLock::with_handoff_policy(topo, CountBound::new(8));
+///
+/// let token = lock.lock();
+/// assert!(lock.try_lock().is_none(), "held: mutual exclusion");
+/// // SAFETY: `token` came from this lock's own `lock()`.
+/// unsafe { lock.unlock(token) };
+///
+/// // Tenure accounting flows through the policy's counters.
+/// assert_eq!(lock.cohort_stats().tenures(), 1);
+/// assert_eq!(lock.policy().bound(), 8);
+/// ```
+///
 /// [`CBoBo`]: crate::CBoBo
 /// [`CTktTkt`]: crate::CTktTkt
 /// [`CBoMcs`]: crate::CBoMcs

@@ -21,10 +21,17 @@
 //!   NUMA boxes). Cohort runs additionally report per-tenure handoff
 //!   statistics (tenures, migrations per tenure, mean/max streak) from
 //!   the policy's counters.
+//!
+//! The reader-writer extension mirrors all three: [`BenchRwLock`] +
+//! adapters erase the C-RW locks (plus the `std::sync::RwLock` and
+//! exclusive-read baselines), [`RwLockKind`] names them, and
+//! [`run_rw_lbench`] drives a `read_pct`-weighted mix through them for
+//! the `fig_rw` exhibit.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bench_lock;
+mod bench_rwlock;
 pub mod pace;
 mod registry;
 mod runner;
@@ -34,6 +41,10 @@ pub use bench_lock::{
     AbortableAdapter, BenchLock, CohortAbortableAdapter, CohortAdapter, HasCohortStats,
     PthreadLock, RawAdapter,
 };
+pub use bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 pub use cohort::{CohortStats, PolicySpec};
-pub use registry::LockKind;
-pub use runner::{run_lbench, run_lbench_on, LBenchConfig, LBenchResult, Placement, TimeMode};
+pub use registry::{LockKind, RwLockKind};
+pub use runner::{
+    run_lbench, run_lbench_on, run_rw_lbench, LBenchConfig, LBenchResult, Placement, RwBenchResult,
+    TimeMode,
+};

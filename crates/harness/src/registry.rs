@@ -3,9 +3,11 @@
 use crate::bench_lock::{
     AbortableAdapter, BenchLock, CohortAbortableAdapter, CohortAdapter, PthreadLock, RawAdapter,
 };
+use crate::bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 use cohort::{
-    AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt, CohortLock, DynPolicy, GlobalBoLock,
-    LocalAClhLock, LocalAboLock, LocalBoLock, LocalMcsLock, LocalTicketLock, PolicySpec,
+    AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt, CohortLock, CohortRwLock, DynPolicy,
+    GlobalBoLock, LocalAClhLock, LocalAboLock, LocalBoLock, LocalMcsLock, LocalTicketLock,
+    PolicySpec, RwFairness,
 };
 use numa_baselines::{FcMcsLock, HboLock, HboParams, HclhLock};
 use numa_topology::Topology;
@@ -212,6 +214,140 @@ impl LockKind {
     ];
 }
 
+/// Builds a [`CohortRwLock`] composition behind the [`BenchRwLock`]
+/// interface — the one constructor shared by [`RwLockKind::make`] and
+/// [`LockKind::make_rw_cache_lock`], so both paths stay in lockstep.
+fn make_cohort_rw<G, L>(
+    topo: &Arc<Topology>,
+    policy: Option<PolicySpec>,
+    fairness: RwFairness,
+) -> Arc<dyn BenchRwLock>
+where
+    G: cohort::GlobalLock + Default + 'static,
+    L: cohort::LocalCohortLock + Default + 'static,
+{
+    Arc::new(CohortRwAdapter::new(
+        CohortRwLock::<G, L, DynPolicy>::with_policy_and_fairness(
+            Arc::clone(topo),
+            policy.unwrap_or_else(PolicySpec::paper_default).build(),
+            fairness,
+        ),
+    ))
+}
+
+impl LockKind {
+    /// Builds the **reader-writer cache lock** standing in for this kind
+    /// when a workload runs in RW mode (the `KV_RW=1` path of `table1`):
+    ///
+    /// * the five non-abortable cohort kinds map to the corresponding
+    ///   [`CohortRwLock`] under writer preference (their writer side *is*
+    ///   this kind, so the Table-1 column keeps its meaning);
+    /// * `Pthread` maps to `std::sync::RwLock` (the OS-level RW lock);
+    /// * every other kind has no shared read path here and falls back to
+    ///   [`MutexAsRw`] — reads stay exclusive, which the runners detect
+    ///   via [`BenchRwLock::read_is_exclusive`].
+    pub fn make_rw_cache_lock(
+        self,
+        topo: &Arc<Topology>,
+        policy: Option<PolicySpec>,
+    ) -> Arc<dyn BenchRwLock> {
+        const WP: RwFairness = RwFairness::WriterPreference;
+        match self {
+            LockKind::CBoBo => make_cohort_rw::<GlobalBoLock, LocalBoLock>(topo, policy, WP),
+            LockKind::CTktTkt => {
+                make_cohort_rw::<base_locks::TicketLock, LocalTicketLock>(topo, policy, WP)
+            }
+            LockKind::CBoMcs => make_cohort_rw::<GlobalBoLock, LocalMcsLock>(topo, policy, WP),
+            LockKind::CTktMcs => {
+                make_cohort_rw::<base_locks::TicketLock, LocalMcsLock>(topo, policy, WP)
+            }
+            LockKind::CMcsMcs => {
+                make_cohort_rw::<base_locks::McsLock, LocalMcsLock>(topo, policy, WP)
+            }
+            LockKind::Pthread => Arc::new(StdRwAdapter::new()),
+            other => Arc::new(MutexAsRw::new(
+                other.make_with_optional_policy(topo, policy),
+            )),
+        }
+    }
+}
+
+/// The reader-writer locks of the `fig_rw` exhibit, by name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RwLockKind {
+    /// `std::sync::RwLock` — NUMA-oblivious OS baseline.
+    StdRw,
+    /// C-RW-BO-MCS under writer preference.
+    CRwWpBoMcs,
+    /// C-RW-BO-MCS under neutral fairness.
+    CRwNeutralBoMcs,
+    /// C-RW-TKT-MCS under writer preference.
+    CRwWpTktMcs,
+    /// The single-writer baseline: C-BO-MCS with *reads taken
+    /// exclusively* (what the pre-RW workloads did).
+    MutexCBoMcs,
+}
+
+impl RwLockKind {
+    /// The name used in the `fig_rw` exhibit.
+    pub fn name(self) -> &'static str {
+        match self {
+            RwLockKind::StdRw => "std-RwLock",
+            RwLockKind::CRwWpBoMcs => "C-RW-WP-BO-MCS",
+            RwLockKind::CRwNeutralBoMcs => "C-RW-N-BO-MCS",
+            RwLockKind::CRwWpTktMcs => "C-RW-WP-TKT-MCS",
+            RwLockKind::MutexCBoMcs => "C-BO-MCS (excl)",
+        }
+    }
+
+    /// Whether this is one of the cohort reader-writer locks.
+    pub fn is_cohort_rw(self) -> bool {
+        matches!(
+            self,
+            RwLockKind::CRwWpBoMcs | RwLockKind::CRwNeutralBoMcs | RwLockKind::CRwWpTktMcs
+        )
+    }
+
+    /// Instantiates the lock over `topo`, honoring `policy` (writer-tenure
+    /// bound) where it applies.
+    pub fn make(self, topo: &Arc<Topology>, policy: Option<PolicySpec>) -> Arc<dyn BenchRwLock> {
+        match self {
+            RwLockKind::StdRw => Arc::new(StdRwAdapter::new()),
+            RwLockKind::CRwWpBoMcs => make_cohort_rw::<GlobalBoLock, LocalMcsLock>(
+                topo,
+                policy,
+                RwFairness::WriterPreference,
+            ),
+            RwLockKind::CRwNeutralBoMcs => {
+                make_cohort_rw::<GlobalBoLock, LocalMcsLock>(topo, policy, RwFairness::Neutral)
+            }
+            RwLockKind::CRwWpTktMcs => make_cohort_rw::<base_locks::TicketLock, LocalMcsLock>(
+                topo,
+                policy,
+                RwFairness::WriterPreference,
+            ),
+            RwLockKind::MutexCBoMcs => Arc::new(MutexAsRw::new(
+                LockKind::CBoMcs.make_with_optional_policy(topo, policy),
+            )),
+        }
+    }
+
+    /// The comparison set of the `fig_rw` exhibit.
+    pub const FIG_RW: [RwLockKind; 5] = [
+        RwLockKind::StdRw,
+        RwLockKind::MutexCBoMcs,
+        RwLockKind::CRwWpBoMcs,
+        RwLockKind::CRwNeutralBoMcs,
+        RwLockKind::CRwWpTktMcs,
+    ];
+}
+
+impl std::fmt::Display for RwLockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl std::fmt::Display for LockKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -283,6 +419,53 @@ mod tests {
         }
         assert!(LockKind::Mcs.make(&topo).cohort_stats().is_none());
         assert!(LockKind::Pthread.make(&topo).cohort_stats().is_none());
+    }
+
+    #[test]
+    fn every_rw_kind_constructs_and_locks() {
+        let topo = Arc::new(Topology::new(4));
+        for kind in RwLockKind::FIG_RW {
+            for policy in [None, Some(PolicySpec::Count { bound: 4 })] {
+                let lock = kind.make(&topo, policy);
+                lock.acquire_read();
+                lock.release_read();
+                lock.acquire_write();
+                lock.release_write();
+                assert!(!kind.name().is_empty());
+                if kind.is_cohort_rw() {
+                    let stats = lock.cohort_stats().expect("cohort RW exposes stats");
+                    assert!(stats.tenures() >= 1, "{kind}: write acquisitions counted");
+                    if policy.is_some() {
+                        assert_eq!(lock.policy_label().as_deref(), Some("count(4)"), "{kind}");
+                    }
+                }
+            }
+        }
+        assert!(RwLockKind::StdRw.make(&topo, None).cohort_stats().is_none());
+        assert!(RwLockKind::MutexCBoMcs
+            .make(&topo, None)
+            .read_is_exclusive());
+    }
+
+    #[test]
+    fn rw_cache_lock_mapping_covers_all_table_kinds() {
+        let topo = Arc::new(Topology::new(4));
+        for kind in LockKind::TABLES {
+            let lock = kind.make_rw_cache_lock(&topo, None);
+            lock.acquire_read();
+            lock.release_read();
+            lock.acquire_write();
+            lock.release_write();
+            let shared_reads = kind.is_cohort() || kind == LockKind::Pthread;
+            assert_eq!(
+                lock.read_is_exclusive(),
+                !shared_reads,
+                "{kind}: only cohort kinds and pthread gain a shared read path"
+            );
+            if kind.is_cohort() {
+                assert!(lock.cohort_stats().is_some(), "{kind}");
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::bench_lock::BenchLock;
 use crate::pace::{kappa_for, spin_wall};
-use crate::registry::LockKind;
+use crate::registry::{LockKind, RwLockKind};
 use coherence_sim::{take_thread_stats, CostModel, Directory, HandoffChannel};
 use cohort::PolicySpec;
 use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
@@ -96,6 +96,10 @@ pub struct LBenchConfig {
     /// Handoff policy for cohort locks (`None` = each lock's default,
     /// i.e. the paper's `CountBound(64)`). Ignored by non-cohort locks.
     pub policy: Option<PolicySpec>,
+    /// Percentage of operations taking the **read** side (0–100). Only
+    /// meaningful to [`run_rw_lbench`]; the mutual-exclusion runners
+    /// ignore it.
+    pub read_pct: u32,
     /// Wall-clock safety net: the run is cut off after this much real time
     /// regardless of virtual progress.
     pub max_wall: Duration,
@@ -119,6 +123,7 @@ impl Default for LBenchConfig {
             placement: Placement::RoundRobin,
             patience_ns: None,
             policy: None,
+            read_pct: 0,
             max_wall: Duration::from_secs(20),
             mode: TimeMode::Virtual,
         }
@@ -398,6 +403,216 @@ pub fn run_lbench_on(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The reader-writer variant (the fig_rw exhibit)
+
+/// Everything one reader-writer LBench run measures.
+#[derive(Clone, Debug)]
+pub struct RwBenchResult {
+    /// Lock under test.
+    pub kind: RwLockKind,
+    /// Thread count of the run.
+    pub threads: usize,
+    /// Read percentage the mix was configured with.
+    pub read_pct: u32,
+    /// Read-side critical sections completed.
+    pub read_ops: u64,
+    /// Write-side critical sections completed.
+    pub write_ops: u64,
+    /// All critical sections completed.
+    pub total_ops: u64,
+    /// Critical sections completed, per thread (fairness data).
+    pub per_thread_ops: Vec<u64>,
+    /// Operations per second of modelled time.
+    pub throughput: f64,
+    /// Exclusive-lock acquisitions observed by the handoff channel
+    /// (writes, plus reads when the lock's read side is exclusive).
+    pub exclusive_acquisitions: u64,
+    /// Cross-cluster migrations of the exclusive lock.
+    pub migrations: u64,
+    /// Standard deviation of per-thread throughput as % of mean.
+    pub stddev_pct: f64,
+    /// Handoff-policy label bounding writer tenures (`None` for
+    /// non-cohort locks).
+    pub policy: Option<String>,
+    /// Writer tenures (0 for non-cohort locks).
+    pub tenures: u64,
+    /// Intra-cluster writer handoffs (0 for non-cohort locks).
+    pub local_handoffs: u64,
+    /// Mean writer-handoff streak per tenure.
+    pub mean_streak: f64,
+    /// Longest writer-handoff streak of any tenure.
+    pub max_streak: u64,
+    /// Real time the run took (diagnostics only).
+    pub wall: Duration,
+}
+
+/// Runs the read/write-mix variant of LBench: each thread flips a
+/// `cfg.read_pct`-weighted coin per iteration, takes the corresponding
+/// side of `kind`, touches the shared lines (reads read them, writes
+/// write them), and idles — the same virtual-time accounting as
+/// [`run_lbench`], with one twist: **shared** read acquisitions skip the
+/// handoff channel (concurrent readers serialize on nothing), while
+/// writes — and reads on a lock whose read side is secretly exclusive
+/// ([`read_is_exclusive`](crate::BenchRwLock::read_is_exclusive)) — are
+/// charged through it.
+pub fn run_rw_lbench(kind: RwLockKind, cfg: &LBenchConfig) -> RwBenchResult {
+    assert!(cfg.read_pct <= 100, "read_pct is a percentage");
+    let topo = Arc::new(Topology::new(cfg.clusters));
+    let lock = kind.make(&topo, cfg.policy);
+    let dir = Arc::new(Directory::new(cfg.cs_lines.max(1), cfg.cost));
+    let handoff = Arc::new(HandoffChannel::new(cfg.cost));
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads));
+    let started = Instant::now();
+    let serial_reads = lock.read_is_exclusive();
+
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|i| {
+            let topo = Arc::clone(&topo);
+            let lock = Arc::clone(&lock);
+            let dir = Arc::clone(&dir);
+            let handoff = Arc::clone(&handoff);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let my_cluster = cluster_for(i, &cfg);
+                bind_current_thread(&topo, my_cluster);
+                vclock::reset();
+                take_thread_stats();
+                let mut rng = StdRng::seed_from_u64(0x5EED ^ i as u64);
+                let kappa = if cfg.pace_wall && cfg.mode == TimeMode::Virtual {
+                    cfg.pace_scale.unwrap_or_else(|| kappa_for(cfg.threads))
+                } else {
+                    1
+                };
+                let mut reads = 0u64;
+                let mut writes = 0u64;
+                barrier.wait();
+                let wall_start = Instant::now();
+                let mut check = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let is_read = rng.gen_range(0u32..100) < cfg.read_pct;
+                    // Serialization is modelled through the handoff
+                    // channel only where the lock actually serializes.
+                    let charge_handoff = !is_read || serial_reads;
+                    if is_read {
+                        lock.acquire_read();
+                    } else {
+                        lock.acquire_write();
+                    }
+
+                    // ----- critical section -----
+                    if charge_handoff {
+                        handoff.on_acquire(my_cluster);
+                    }
+                    let cs_start = vclock::now();
+                    // Touch the shared lines: reads share them, writes
+                    // take them exclusive — in virtual mode the directory
+                    // charges the coherence cost, in wall mode the
+                    // hardware does the work.
+                    for line in 0..cfg.cs_lines {
+                        if is_read {
+                            dir.read(line, my_cluster);
+                        } else {
+                            dir.write(line, my_cluster);
+                        }
+                    }
+                    if cfg.mode == TimeMode::Virtual {
+                        vclock::advance(cfg.cs_extra_ns);
+                        if cfg.pace_wall {
+                            let charged = vclock::now().saturating_sub(cs_start);
+                            spin_wall((charged * kappa).min(50_000), true);
+                        }
+                        if vclock::now() >= cfg.window_ns {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    if charge_handoff {
+                        handoff.on_release(my_cluster);
+                    }
+                    if is_read {
+                        lock.release_read();
+                        reads += 1;
+                    } else {
+                        lock.release_write();
+                        writes += 1;
+                    }
+
+                    // ----- non-critical section -----
+                    let idle = rng.gen_range(0..=cfg.noncs_max_ns);
+                    match cfg.mode {
+                        TimeMode::Virtual => {
+                            vclock::advance(idle);
+                            if cfg.pace_wall {
+                                spin_wall(idle * kappa, true);
+                            }
+                        }
+                        TimeMode::Wall => {
+                            let t0 = Instant::now();
+                            while (t0.elapsed().as_nanos() as u64) < idle {
+                                std::hint::spin_loop();
+                            }
+                            if wall_start.elapsed().as_nanos() >= cfg.window_ns as u128 {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+
+                    check = check.wrapping_add(1);
+                    if check.is_multiple_of(512) && wall_start.elapsed() > cfg.max_wall {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                (reads, writes)
+            })
+        })
+        .collect();
+
+    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
+    let mut read_ops = 0u64;
+    let mut write_ops = 0u64;
+    for h in handles {
+        let (r, w) = h.join().expect("rw lbench worker panicked");
+        per_thread_ops.push(r + w);
+        read_ops += r;
+        write_ops += w;
+    }
+    let total_ops = read_ops + write_ops;
+    let window_s = cfg.window_ns as f64 / 1e9;
+    let (_, stddev_pct) = crate::stats::mean_stddev_pct(&per_thread_ops);
+    let cstats = lock.cohort_stats();
+    let (tenures, local_handoffs, mean_streak, max_streak) = match &cstats {
+        Some(s) => (
+            s.tenures(),
+            s.local_handoffs(),
+            s.mean_streak(),
+            s.max_streak(),
+        ),
+        None => (0, 0, 0.0, 0),
+    };
+    RwBenchResult {
+        kind,
+        threads: cfg.threads,
+        read_pct: cfg.read_pct,
+        read_ops,
+        write_ops,
+        total_ops,
+        per_thread_ops,
+        throughput: total_ops as f64 / window_s,
+        exclusive_acquisitions: handoff.acquisitions(),
+        migrations: handoff.migrations(),
+        stddev_pct,
+        policy: lock.policy_label(),
+        tenures,
+        local_handoffs,
+        mean_streak,
+        max_streak,
+        wall: started.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +727,74 @@ mod tests {
         // The run must terminate (stop flag via abort charges) and count
         // consistently.
         assert!(r.aborts > 0 || r.total_ops > 0);
+    }
+
+    #[test]
+    fn rw_run_counts_both_sides() {
+        let mut cfg = quick_cfg(4);
+        cfg.read_pct = 50;
+        let r = run_rw_lbench(RwLockKind::CRwWpBoMcs, &cfg);
+        assert_eq!(r.total_ops, r.read_ops + r.write_ops);
+        assert_eq!(r.total_ops, r.per_thread_ops.iter().sum::<u64>());
+        assert!(r.read_ops > 0, "mixed load produces reads");
+        assert!(r.write_ops > 0, "mixed load produces writes");
+        assert_eq!(r.policy.as_deref(), Some("count(64)"));
+        // Only writers go through the cohort machinery.
+        assert_eq!(r.tenures + r.local_handoffs, r.write_ops);
+        assert!(r.max_streak <= 64);
+    }
+
+    #[test]
+    fn rw_read_only_run_never_writes() {
+        let mut cfg = quick_cfg(4);
+        cfg.read_pct = 100;
+        let r = run_rw_lbench(RwLockKind::CRwNeutralBoMcs, &cfg);
+        assert!(r.read_ops > 0);
+        assert_eq!(r.write_ops, 0);
+        assert_eq!(r.tenures, 0, "no writer ever entered");
+        assert_eq!(
+            r.exclusive_acquisitions, 0,
+            "shared reads skip the handoff channel"
+        );
+    }
+
+    #[test]
+    fn rw_exclusive_baseline_charges_reads_through_handoff() {
+        let mut cfg = quick_cfg(2);
+        cfg.read_pct = 100;
+        let r = run_rw_lbench(RwLockKind::MutexCBoMcs, &cfg);
+        assert!(r.read_ops > 0);
+        assert_eq!(
+            r.exclusive_acquisitions, r.read_ops,
+            "exclusive 'reads' serialize like writes"
+        );
+    }
+
+    #[test]
+    fn rw_policy_is_honored_for_writer_tenures() {
+        let mut cfg = quick_cfg(4);
+        cfg.read_pct = 20; // write-heavy so streaks actually form
+        cfg.policy = Some(cohort::PolicySpec::Count { bound: 2 });
+        let r = run_rw_lbench(RwLockKind::CRwWpTktMcs, &cfg);
+        assert_eq!(r.policy.as_deref(), Some("count(2)"));
+        assert!(r.max_streak <= 2, "bound 2 violated: {}", r.max_streak);
+    }
+
+    #[test]
+    fn crw_outruns_exclusive_baseline_when_read_heavy() {
+        // The acceptance shape of the fig_rw exhibit, in miniature: at a
+        // 90%+ read ratio the shared read path must at least match the
+        // single-writer cohort baseline.
+        let mut cfg = quick_cfg(4);
+        cfg.read_pct = 90;
+        let crw = run_rw_lbench(RwLockKind::CRwWpBoMcs, &cfg);
+        let excl = run_rw_lbench(RwLockKind::MutexCBoMcs, &cfg);
+        assert!(
+            crw.throughput >= excl.throughput,
+            "C-RW {:.0} ops/s should not trail the exclusive baseline {:.0}",
+            crw.throughput,
+            excl.throughput
+        );
     }
 
     #[test]

@@ -1,60 +1,144 @@
 //! The store behind an injected lock — the paper's interpose library.
 
 use crate::store::{KvStats, KvStore};
-use lbench::BenchLock;
+use lbench::{BenchLock, BenchRwLock};
 use numa_topology::ClusterId;
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The cache lock guarding the store: either a mutual-exclusion lock
+/// (every operation exclusive — the paper's setup) or a reader-writer
+/// lock (`get`s share, `set`s exclude — the C-RW extension).
+enum CacheLock {
+    Mutex(Arc<dyn BenchLock>),
+    Rw(Arc<dyn BenchRwLock>),
+}
 
 /// [`KvStore`] guarded by any [`BenchLock`] — the paper swapped the lock
 /// under memcached via `LD_PRELOAD`; here the lock is a constructor
 /// argument and the store code is identical for all 11 lock columns of
 /// Table 1.
+///
+/// [`with_rw_lock`](Self::with_rw_lock) instead injects a
+/// [`BenchRwLock`]: `get`s then run under the shared side (via the
+/// LRU-free [`KvStore::peek`], with hit/miss counts kept in atomics) and
+/// everything else under the exclusive side.
 pub struct SharedKvStore {
-    lock: Arc<dyn BenchLock>,
+    lock: CacheLock,
     store: UnsafeCell<KvStore>,
+    /// Read-path hit/miss counts (RW mode only; `peek` cannot touch the
+    /// store's own counters from under a shared lock).
+    rw_hits: AtomicU64,
+    rw_misses: AtomicU64,
 }
 
-// SAFETY: `store` is only touched inside with_lock, under `lock`.
+// SAFETY: `store` is touched exclusively (&mut) only under the mutex or
+// the write side of the RW lock, and shared (&) only under the read side.
 unsafe impl Send for SharedKvStore {}
 unsafe impl Sync for SharedKvStore {}
 
 impl SharedKvStore {
-    /// Wraps `store` behind `lock`.
+    /// Wraps `store` behind a mutual-exclusion cache lock.
     pub fn new(lock: Arc<dyn BenchLock>, store: KvStore) -> Self {
         SharedKvStore {
-            lock,
+            lock: CacheLock::Mutex(lock),
             store: UnsafeCell::new(store),
+            rw_hits: AtomicU64::new(0),
+            rw_misses: AtomicU64::new(0),
         }
     }
 
-    /// Runs `f` on the store while holding the cache lock.
+    /// Wraps `store` behind a reader-writer cache lock: `get`s take the
+    /// read side, everything else the write side.
+    pub fn with_rw_lock(lock: Arc<dyn BenchRwLock>, store: KvStore) -> Self {
+        SharedKvStore {
+            lock: CacheLock::Rw(lock),
+            store: UnsafeCell::new(store),
+            rw_hits: AtomicU64::new(0),
+            rw_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `f` on the store while holding the cache lock exclusively
+    /// (the mutex, or the write side of the RW lock).
     pub fn with_lock<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
-        self.lock.acquire();
-        // SAFETY: the cache lock serializes all access to the store.
-        let r = f(unsafe { &mut *self.store.get() });
-        self.lock.release();
-        r
+        match &self.lock {
+            CacheLock::Mutex(lock) => {
+                lock.acquire();
+                // SAFETY: the cache lock serializes all access.
+                let r = f(unsafe { &mut *self.store.get() });
+                lock.release();
+                r
+            }
+            CacheLock::Rw(lock) => {
+                lock.acquire_write();
+                // SAFETY: the write side excludes readers and writers.
+                let r = f(unsafe { &mut *self.store.get() });
+                lock.release_write();
+                r
+            }
+        }
     }
 
-    /// `get` under the cache lock.
+    /// `get` under the cache lock: the full LRU-touching [`KvStore::get`]
+    /// in mutex mode, the shared-lock [`KvStore::peek`] in RW mode.
     pub fn get(&self, key: u64, cluster: ClusterId) -> Option<u64> {
-        self.with_lock(|s| s.get(key, cluster))
+        match &self.lock {
+            CacheLock::Mutex(_) => self.with_lock(|s| s.get(key, cluster)),
+            CacheLock::Rw(lock) => {
+                lock.acquire_read();
+                // SAFETY: the read side excludes writers; `peek` takes
+                // `&KvStore`, so concurrent readers are fine.
+                let r = unsafe { (*self.store.get()).peek(key, cluster) };
+                lock.release_read();
+                match r {
+                    Some(_) => self.rw_hits.fetch_add(1, Ordering::Relaxed),
+                    None => self.rw_misses.fetch_add(1, Ordering::Relaxed),
+                };
+                r
+            }
+        }
     }
 
-    /// `set` under the cache lock.
+    /// `set` under the cache lock (always exclusive).
     pub fn set(&self, key: u64, stamp: u64, cluster: ClusterId) {
         self.with_lock(|s| s.set(key, stamp, cluster))
     }
 
-    /// Statistics snapshot (taken under the lock).
+    /// Statistics snapshot: the store's own counters, plus the read-path
+    /// hit/miss counts when running under a reader-writer lock.
     pub fn stats(&self) -> KvStats {
-        self.with_lock(|s| s.stats())
+        let mut stats = self.with_lock(|s| s.stats());
+        stats.hits += self.rw_hits.load(Ordering::Relaxed);
+        stats.misses += self.rw_misses.load(Ordering::Relaxed);
+        stats
     }
 
-    /// The injected lock (for handoff instrumentation).
-    pub fn lock(&self) -> &Arc<dyn BenchLock> {
-        &self.lock
+    /// Whether `get`s genuinely share the cache lock (RW mode with a
+    /// concurrent read side). Workload drivers use this to decide whether
+    /// read operations must be charged through the handoff channel.
+    pub fn reads_are_shared(&self) -> bool {
+        match &self.lock {
+            CacheLock::Mutex(_) => false,
+            CacheLock::Rw(lock) => !lock.read_is_exclusive(),
+        }
+    }
+
+    /// Tenure statistics of the cache lock, for cohort(-RW) locks.
+    pub fn cohort_stats(&self) -> Option<lbench::CohortStats> {
+        match &self.lock {
+            CacheLock::Mutex(lock) => lock.cohort_stats(),
+            CacheLock::Rw(lock) => lock.cohort_stats(),
+        }
+    }
+
+    /// Handoff-policy label of the cache lock, for cohort(-RW) locks.
+    pub fn policy_label(&self) -> Option<String> {
+        match &self.lock {
+            CacheLock::Mutex(lock) => lock.policy_label(),
+            CacheLock::Rw(lock) => lock.policy_label(),
+        }
     }
 }
 
@@ -63,20 +147,29 @@ mod tests {
     use super::*;
     use crate::store::KvConfig;
     use coherence_sim::{CostModel, Directory};
-    use lbench::{LockKind, PthreadLock};
+    use lbench::{LockKind, PthreadLock, RwLockKind};
     use numa_topology::Topology;
 
-    fn shared(lock: Arc<dyn BenchLock>) -> Arc<SharedKvStore> {
+    fn kv_store() -> KvStore {
         let cfg = KvConfig {
             buckets: 256,
-            capacity: 1024,
+            // Must exceed the distinct keys any test below inserts (the
+            // concurrent ones use up to 2000): a thread descheduled
+            // between its set and get must not find its key LRU-evicted
+            // by the other threads' inserts, or exact-count assertions
+            // flake.
+            capacity: 4096,
             ..Default::default()
         };
         let dir = Arc::new(Directory::new(
             KvStore::lines_needed(&cfg),
             CostModel::t5440(),
         ));
-        Arc::new(SharedKvStore::new(lock, KvStore::new(cfg, dir)))
+        KvStore::new(cfg, dir)
+    }
+
+    fn shared(lock: Arc<dyn BenchLock>) -> Arc<SharedKvStore> {
+        Arc::new(SharedKvStore::new(lock, kv_store()))
     }
 
     #[test]
@@ -107,6 +200,54 @@ mod tests {
     }
 
     #[test]
+    fn rw_mode_routes_gets_through_the_read_path() {
+        let topo = Arc::new(Topology::new(4));
+        let s = Arc::new(SharedKvStore::with_rw_lock(
+            RwLockKind::CRwWpBoMcs.make(&topo, None),
+            kv_store(),
+        ));
+        assert!(s.reads_are_shared());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                let topo = Arc::clone(&topo);
+                std::thread::spawn(move || {
+                    let cl = numa_topology::current_cluster_in(&topo);
+                    for i in 0..300u64 {
+                        let key = t * 1000 + i;
+                        s.set(key, key + 1, cl);
+                        assert_eq!(s.get(key, cl), Some(key + 1));
+                        assert_eq!(s.get(key + 500_000, cl), None);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.inserts, 1200);
+        assert_eq!(st.hits, 1200, "read-path hits are counted");
+        assert_eq!(st.misses, 1200, "read-path misses are counted");
+        // The cache lock is a cohort-RW lock: writer tenures are visible.
+        let cs = s.cohort_stats().expect("cohort stats in RW mode");
+        assert_eq!(cs.tenures() + cs.local_handoffs(), 1200 + 1);
+        assert_eq!(s.policy_label().as_deref(), Some("count(64)"));
+    }
+
+    #[test]
+    fn rw_mode_with_exclusive_fallback_reports_itself() {
+        let topo = Arc::new(Topology::new(4));
+        let s =
+            SharedKvStore::with_rw_lock(LockKind::Mcs.make_rw_cache_lock(&topo, None), kv_store());
+        assert!(!s.reads_are_shared(), "MCS has no shared read path");
+        let cl = ClusterId::new(0);
+        s.set(1, 2, cl);
+        assert_eq!(s.get(1, cl), Some(2));
+        assert_eq!(s.stats().hits, 1);
+    }
+
+    #[test]
     fn delete_under_lock() {
         let s = shared(Arc::new(PthreadLock::new()));
         let cl = ClusterId::new(1);
@@ -120,5 +261,7 @@ mod tests {
         let s = shared(Arc::new(PthreadLock::new()));
         s.set(1, 2, ClusterId::new(0));
         assert_eq!(s.get(1, ClusterId::new(0)), Some(2));
+        assert!(!s.reads_are_shared());
+        assert!(s.cohort_stats().is_none());
     }
 }

@@ -169,6 +169,35 @@ impl KvStore {
         None
     }
 
+    /// Looks up `key` **without touching the LRU list or the stats** —
+    /// the read-path lookup used when the store runs under a
+    /// reader-writer cache lock, where concurrent `get`s hold only a
+    /// shared lock and therefore must not mutate the structures.
+    ///
+    /// This mirrors what memcached itself did to get out from under the
+    /// cache lock: its later releases bump an item's LRU position lazily
+    /// (at most once per minute) instead of on every hit, accepting
+    /// slightly stale recency for read concurrency. Callers that need
+    /// hit/miss accounting count the returned `Option` themselves (see
+    /// `SharedKvStore`).
+    pub fn peek(&self, key: u64, cluster: ClusterId) -> Option<u64> {
+        vclock::advance(self.cfg.op_compute_ns);
+        let b = self.hash(key);
+        self.dir.read(self.bucket_line(b), cluster);
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            self.dir.read(self.entry_line(cur), cluster);
+            if self.slab[cur].key == key {
+                for l in 1..self.cfg.value_lines {
+                    self.dir.read(self.entry_line(cur) + l, cluster);
+                }
+                return Some(self.slab[cur].stamp);
+            }
+            cur = self.slab[cur].hash_next;
+        }
+        None
+    }
+
     /// Inserts or overwrites `key` with `stamp`, evicting if full.
     pub fn set(&mut self, key: u64, stamp: u64, cluster: ClusterId) {
         vclock::advance(self.cfg.op_compute_ns);
@@ -354,6 +383,22 @@ mod tests {
         assert_eq!(s.get(3, C0), None);
         assert_eq!(s.stats().hits, 2);
         assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn peek_reads_without_touching_lru_or_stats() {
+        let mut s = store();
+        s.set(1, 10, C0);
+        s.set(2, 20, C0);
+        assert_eq!(s.lru_keys(), vec![2, 1]);
+        assert_eq!(s.peek(1, C0), Some(10));
+        assert_eq!(s.peek(3, C0), None);
+        assert_eq!(s.lru_keys(), vec![2, 1], "peek must not bump LRU");
+        assert_eq!(s.stats().hits, 0, "peek must not count hits");
+        assert_eq!(s.stats().misses, 0, "peek must not count misses");
+        // get() still behaves normally afterwards.
+        assert_eq!(s.get(1, C0), Some(10));
+        assert_eq!(s.lru_keys(), vec![1, 2]);
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub struct KvWorkload {
     /// (`None` = the lock's default, the paper's `CountBound(64)`).
     /// Ignored for non-cohort cache locks.
     pub policy: Option<PolicySpec>,
+    /// Run the cache lock in **reader-writer mode** (the `KV_RW=1` path):
+    /// the lock kind is mapped through
+    /// [`LockKind::make_rw_cache_lock`](lbench::LockKind::make_rw_cache_lock),
+    /// `get`s take the shared side (LRU-free peek), `set`s the exclusive
+    /// side. Kinds without a shared read path fall back to exclusive
+    /// reads and behave as in mutex mode.
+    pub rw: bool,
 }
 
 impl Default for KvWorkload {
@@ -62,6 +69,7 @@ impl Default for KvWorkload {
             cost: CostModel::t5440(),
             max_wall: Duration::from_secs(60),
             policy: None,
+            rw: false,
         }
     }
 }
@@ -79,9 +87,11 @@ pub struct KvRunResult {
     pub total_ops: u64,
     /// Operations per virtual second.
     pub throughput: f64,
-    /// Cache-lock migrations observed.
+    /// Cache-lock migrations observed (exclusive path only in RW mode).
     pub migrations: u64,
-    /// Cache-lock acquisitions observed.
+    /// Cache-lock acquisitions observed. In RW mode only *exclusive*
+    /// acquisitions are counted — shared-side gets serialize on nothing
+    /// and bypass the handoff channel, so this undercounts `total_ops`.
     pub acquisitions: u64,
     /// Handoff-policy label (`None` when the cache lock is not a cohort
     /// lock).
@@ -97,13 +107,16 @@ pub struct KvRunResult {
 /// Runs the workload with `kind` as the cache lock.
 pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
     let topo = Arc::new(Topology::new(w.clusters));
-    let lock = kind.make_with_optional_policy(&topo, w.policy);
     let dir = Arc::new(Directory::new(KvStore::lines_needed(&w.store), w.cost));
-    let store = Arc::new(SharedKvStore::new(
-        lock,
-        KvStore::new(w.store, Arc::clone(&dir)),
-    ));
+    let kv = KvStore::new(w.store, Arc::clone(&dir));
+    let store = Arc::new(if w.rw {
+        SharedKvStore::with_rw_lock(kind.make_rw_cache_lock(&topo, w.policy), kv)
+    } else {
+        SharedKvStore::new(kind.make_with_optional_policy(&topo, w.policy), kv)
+    });
     let handoff = Arc::new(HandoffChannel::new(w.cost));
+    // Shared-read gets bypass the lock-serialization accounting below.
+    let shared_reads = store.reads_are_shared();
 
     // Warm phase: populate the keyspace (mirrors memaslap's preload).
     {
@@ -140,23 +153,37 @@ pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.gen_range(0..w.keyspace);
                     let is_get = rng.gen_range(0u32..100) < w.get_pct;
-                    store.with_lock(|s| {
-                        handoff.on_acquire(my_cluster);
+                    if is_get && shared_reads {
+                        // Read path: concurrent readers serialize on
+                        // nothing, so no handoff-channel charge — their
+                        // clocks advance independently, which is exactly
+                        // the parallelism the RW lock buys.
                         let cs_start = vclock::now();
-                        if is_get {
-                            s.get(key, my_cluster);
-                        } else {
-                            s.set(key, ops, my_cluster);
-                        }
+                        store.get(key, my_cluster);
                         let charged = vclock::now().saturating_sub(cs_start);
-                        // Hold in wall time what the model charged (see
-                        // lbench pacing docs).
                         spin_wall((charged * kappa).min(100_000), true);
                         if vclock::now() >= w.window_ns {
                             stop.store(true, Ordering::Relaxed);
                         }
-                        handoff.on_release(my_cluster);
-                    });
+                    } else {
+                        store.with_lock(|s| {
+                            handoff.on_acquire(my_cluster);
+                            let cs_start = vclock::now();
+                            if is_get {
+                                s.get(key, my_cluster);
+                            } else {
+                                s.set(key, ops, my_cluster);
+                            }
+                            let charged = vclock::now().saturating_sub(cs_start);
+                            // Hold in wall time what the model charged
+                            // (see lbench pacing docs).
+                            spin_wall((charged * kappa).min(100_000), true);
+                            if vclock::now() >= w.window_ns {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            handoff.on_release(my_cluster);
+                        });
+                    }
                     ops += 1;
                     // Out-of-lock request handling (parallel fraction).
                     vclock::advance(w.parse_ns);
@@ -176,7 +203,7 @@ pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
     for h in handles {
         total_ops += h.join().expect("kv worker panicked");
     }
-    let cstats = store.lock().cohort_stats();
+    let cstats = store.cohort_stats();
     KvRunResult {
         kind,
         threads: w.threads,
@@ -185,7 +212,7 @@ pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
         throughput: total_ops as f64 / (w.window_ns as f64 / 1e9),
         migrations: handoff.migrations(),
         acquisitions: handoff.acquisitions(),
-        policy: store.lock().policy_label(),
+        policy: store.policy_label(),
         tenures: cstats.as_ref().map(|s| s.tenures()).unwrap_or(0),
         mean_streak: cstats.as_ref().map(|s| s.mean_streak()).unwrap_or(0.0),
         wall: started.elapsed(),
@@ -246,6 +273,54 @@ mod tests {
         let r = run_kv(LockKind::Mcs, &w);
         assert_eq!(r.policy, None);
         assert_eq!(r.tenures, 0);
+    }
+
+    #[test]
+    fn rw_mode_runs_read_heavy_mix() {
+        let mut w = quick(4, 90);
+        w.rw = true;
+        let r = run_kv(LockKind::CBoMcs, &w);
+        assert!(r.total_ops > 100, "ops {}", r.total_ops);
+        // The cache lock is now a cohort-RW lock: only the exclusive
+        // side flows through the handoff channel, so acquisitions trail
+        // total ops (most ops were shared-side gets).
+        assert!(
+            r.acquisitions < r.total_ops,
+            "acquisitions {} should undercount ops {}",
+            r.acquisitions,
+            r.total_ops
+        );
+        assert_eq!(r.policy.as_deref(), Some("count(64)"));
+        assert!(r.tenures > 0, "writer tenures observed");
+    }
+
+    #[test]
+    fn rw_mode_beats_mutex_mode_on_read_heavy_mix() {
+        // The whole point of the C-RW layer: at 90% gets, routing reads
+        // through the shared side must not lose to fully-exclusive ops.
+        let mutex = run_kv(LockKind::CBoMcs, &quick(8, 90));
+        let mut w = quick(8, 90);
+        w.rw = true;
+        let rw = run_kv(LockKind::CBoMcs, &w);
+        assert!(
+            rw.throughput >= mutex.throughput,
+            "rw {:.0} ops/s vs mutex {:.0} ops/s",
+            rw.throughput,
+            mutex.throughput
+        );
+    }
+
+    #[test]
+    fn rw_mode_falls_back_to_exclusive_for_non_rw_kinds() {
+        let mut w = quick(2, 90);
+        w.rw = true;
+        let r = run_kv(LockKind::Mcs, &w);
+        assert!(r.total_ops > 0);
+        assert!(
+            r.acquisitions >= r.total_ops,
+            "exclusive fallback charges every op through the channel"
+        );
+        assert_eq!(r.policy, None);
     }
 
     #[test]
