@@ -157,6 +157,74 @@ pub fn spin_cycles(n: u32) {
     }
 }
 
+/// A bounded spin-then-yield waiter for flag spins (queue-lock grant
+/// flags, reader-drain scans, writer barriers).
+///
+/// The first [`DEFAULT_SPIN_ROUNDS`](Self::DEFAULT_SPIN_ROUNDS) calls to
+/// [`snooze`](Self::snooze) issue a `spin_loop` hint each (the fast path:
+/// the flag flips within a handoff latency); every call after the budget
+/// cedes the CPU with `thread::yield_now`. Unlike a `spins % 64 == 0`
+/// pattern — which keeps burning 63 of every 64 iterations forever — an
+/// exhausted `SpinWait` yields on **every** round, so on an oversubscribed
+/// host the thread being waited on actually gets the CPU and a drain
+/// cannot live-lock.
+#[derive(Debug)]
+pub struct SpinWait {
+    rounds: u32,
+    spin_rounds: u32,
+}
+
+impl SpinWait {
+    /// Spin-hint budget before escalating to per-round yields.
+    pub const DEFAULT_SPIN_ROUNDS: u32 = 64;
+
+    /// A waiter with the default spin budget.
+    #[inline]
+    pub fn new() -> Self {
+        Self::with_spin_rounds(Self::DEFAULT_SPIN_ROUNDS)
+    }
+
+    /// A waiter that spins `spin_rounds` times before yielding every round
+    /// (0 = yield from the first round).
+    #[inline]
+    pub fn with_spin_rounds(spin_rounds: u32) -> Self {
+        SpinWait {
+            rounds: 0,
+            spin_rounds,
+        }
+    }
+
+    /// Waits one round: a spin hint while the budget lasts, a scheduler
+    /// yield on every round after.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.rounds < self.spin_rounds {
+            self.rounds += 1;
+            hint::spin_loop();
+        } else {
+            thread::yield_now();
+        }
+    }
+
+    /// Whether the spin budget is exhausted (every further round yields).
+    #[inline]
+    pub fn is_yielding(&self) -> bool {
+        self.rounds >= self.spin_rounds
+    }
+
+    /// Restarts the spin budget (e.g. after observing fresh progress).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+    }
+}
+
+impl Default for SpinWait {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +266,26 @@ mod tests {
             f.snooze();
         }
         assert_eq!(steps, vec![1, 1, 2, 3, 5, 5]);
+    }
+
+    #[test]
+    fn spin_wait_escalates_to_permanent_yielding() {
+        // Regression for the `spins % 64 == 0` live-lock pattern: once the
+        // budget is spent, *every* round must yield (is_yielding stays
+        // true), not one round in 64.
+        let mut w = SpinWait::with_spin_rounds(3);
+        assert!(!w.is_yielding());
+        for _ in 0..3 {
+            w.snooze();
+        }
+        assert!(w.is_yielding());
+        for _ in 0..100 {
+            w.snooze();
+            assert!(w.is_yielding(), "yield escalation must be sticky");
+        }
+        w.reset();
+        assert!(!w.is_yielding());
+        assert!(SpinWait::with_spin_rounds(0).is_yielding());
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod raw;
 mod tatas;
 mod ticket;
 
-pub use backoff::{Backoff, BackoffCfg};
+pub use backoff::{Backoff, BackoffCfg, SpinWait};
 pub use clh::ClhLock;
 pub use clh_nb::AbortableClhLock;
 pub use mcs::McsLock;

@@ -10,10 +10,7 @@ use coherence_sim::CostModel;
 use lbench::{run_lbench, LBenchConfig, LockKind};
 
 fn main() {
-    let threads: usize = std::env::var("LBENCH_ABLATION_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32);
+    let threads = cohort_bench::ablation_threads();
     eprintln!("ablation C: remote/local ratio sweep, {threads} threads");
     println!("\n== Ablation C: NUMA-ness vs cohort advantage ({threads} threads) ==");
     println!(

@@ -22,7 +22,8 @@
 //! [`HandoffPolicy`]: cohort::HandoffPolicy
 //! [`PolicySpec::parse`]: lbench::PolicySpec::parse
 
-use cohort_bench::{ablation_threads, emit_policy_rows, policy_sweep};
+use cohort_bench::{ablation_threads, emit_policy_rows, knob_or_die, policy_sweep};
+use lbench::env::env_policy_list;
 use lbench::{LockKind, PolicySpec};
 
 fn main() {
@@ -35,13 +36,10 @@ fn main() {
         PolicySpec::Unbounded,
         PolicySpec::NeverPass,
     ];
-    if let Ok(extra) = std::env::var("LBENCH_EXTRA_POLICIES") {
-        for spec in extra.split(',').filter(|s| !s.trim().is_empty()) {
-            match PolicySpec::parse(spec) {
-                Ok(p) => policies.push(p),
-                Err(e) => eprintln!("ignoring policy spec {spec:?}: {e}"),
-            }
-        }
+    // A malformed extra spec aborts (it used to be skipped with a log
+    // line, leaving the sweep silently smaller than requested).
+    if let Some(extra) = knob_or_die(env_policy_list("LBENCH_EXTRA_POLICIES")) {
+        policies.extend(extra);
     }
     eprintln!(
         "ablation D: handoff-policy comparison on {} locks x {} policies, {threads} threads",

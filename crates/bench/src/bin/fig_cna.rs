@@ -1,0 +1,186 @@
+//! Exhibit CNA: cohorting vs. compaction, across threads × clusters.
+//!
+//! The paper's missing modern comparison: the Compact NUMA-Aware lock
+//! (Dice & Kogan, EuroSys 2019) achieves cohort-like intra-node handoff
+//! with a *single-word* MCS-shaped lock by splicing remote waiters onto a
+//! secondary queue. This exhibit races, for every cluster count:
+//!
+//! * `MCS` — the NUMA-oblivious queue lock both designs build on;
+//! * `C-BO-MCS` — the paper's best cohort lock (two-level);
+//! * `CNA` — compaction at the paper-comparable threshold (64 local
+//!   handoffs, the same knob as the cohort locks' `count(64)` policy);
+//! * `CNA (t=4)` — a tight threshold, showing the fairness/locality
+//!   trade-off inside one lock family.
+//!
+//! Expected shape: at 1 cluster all four meet (there is no locality to
+//! exploit — CNA degenerates to MCS); from 2 clusters up, CNA and the
+//! cohort lock pull away from MCS as local handoffs replace cross-cluster
+//! migrations, with CNA paying no two-level indirection.
+//!
+//! Environment: `LBENCH_CNA_CLUSTERS` (comma-separated cluster counts,
+//! default `1,2,4`), plus the usual `LBENCH_*` knobs and `RESULTS_DIR`.
+//!
+//! The binary **self-checks** its acceptance shape and exits non-zero if
+//! CNA trails plain MCS at any swept cluster count ≥ 2 (measured at the
+//! check cell `threads = 2 × clusters`, the smallest configuration where
+//! every cluster has a cohort-mate), or if a CNA streak ever exceeds its
+//! configured threshold.
+
+use cohort_bench::{base_config, knob_or_die, schema, thread_grid};
+use lbench::env::env_positive_usize_list;
+use lbench::{run_lbench, LBenchConfig, LBenchResult, LockKind};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn cna_clusters() -> Vec<usize> {
+    knob_or_die(env_positive_usize_list("LBENCH_CNA_CLUSTERS")).unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// Thread grid for one cluster count: the global grid plus the
+/// `2 × clusters` check cell, deduplicated and sorted.
+fn grid_for(clusters: usize) -> Vec<usize> {
+    let mut grid = thread_grid();
+    grid.push(2 * clusters);
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+fn write_csv(cells: &[(usize, LBenchResult)]) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    std::fs::create_dir_all(&dir)?;
+    let path = PathBuf::from(dir).join("fig_cna.csv");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", schema::FIG_CNA_HEADER)?;
+    for (clusters, r) in cells {
+        writeln!(
+            f,
+            "{},{},{},{:.0},{},{},{:.4},{},{},{:.2},{},{}",
+            r.kind.name(),
+            clusters,
+            r.threads,
+            r.throughput,
+            r.acquisitions,
+            r.migrations,
+            r.misses_per_cs,
+            r.tenures,
+            r.local_handoffs,
+            r.mean_streak,
+            r.max_streak,
+            r.policy.as_deref().unwrap_or("-"),
+        )?;
+    }
+    Ok(path)
+}
+
+fn main() {
+    let cluster_counts = cna_clusters();
+    eprintln!(
+        "fig_cna: {} locks x {:?} clusters",
+        LockKind::FIG_CNA.len(),
+        cluster_counts
+    );
+    let mut cells: Vec<(usize, LBenchResult)> = Vec::new();
+    for &clusters in &cluster_counts {
+        for &threads in &grid_for(clusters) {
+            for &kind in &LockKind::FIG_CNA {
+                let cfg = LBenchConfig {
+                    clusters,
+                    threads,
+                    ..base_config(threads)
+                };
+                let r = run_lbench(kind, &cfg);
+                eprintln!(
+                    "  [{kind} c={clusters} t={threads}] {:.3}e6 ops/s, {} migrations, \
+                     {:.1} mean streak ({:?} wall)",
+                    r.throughput / 1e6,
+                    r.migrations,
+                    r.mean_streak,
+                    r.wall
+                );
+                cells.push((clusters, r));
+            }
+        }
+    }
+
+    // Render: one block per cluster count, rows by thread count.
+    let width = LockKind::FIG_CNA
+        .iter()
+        .map(|k| k.name().len())
+        .max()
+        .unwrap_or(10)
+        .max(12);
+    for &clusters in &cluster_counts {
+        println!("\n== Exhibit CNA: throughput (ops/s), {clusters} cluster(s) ==");
+        print!("{:>8} ", "threads");
+        for kind in &LockKind::FIG_CNA {
+            print!("{:>width$} ", kind.name());
+        }
+        println!();
+        for &threads in &grid_for(clusters) {
+            print!("{threads:>8} ");
+            for kind in &LockKind::FIG_CNA {
+                let r = &cells
+                    .iter()
+                    .find(|(c, r)| *c == clusters && r.kind == *kind && r.threads == threads)
+                    .expect("cell present")
+                    .1;
+                print!("{:>width$.0} ", r.throughput);
+            }
+            println!();
+        }
+    }
+    match write_csv(&cells) {
+        Ok(p) => println!("[csv written to {}]", p.display()),
+        Err(e) => eprintln!("[csv not written: {e}]"),
+    }
+
+    // Self-check 1: the CNA fairness threshold really bounds streaks
+    // (thresholds come from the registry, the single source of truth).
+    let mut failed = false;
+    for (clusters, r) in &cells {
+        let bound = match r.kind.cna_threshold() {
+            Some(b) => b,
+            None => continue,
+        };
+        if r.max_streak > bound {
+            eprintln!(
+                "check: {} at c={clusters} t={}: streak {} exceeds threshold {bound} FAILED",
+                r.kind, r.threads, r.max_streak
+            );
+            failed = true;
+        }
+    }
+
+    // Self-check 2: compaction must not trail plain MCS once there is
+    // locality to exploit (clusters >= 2), measured where every cluster
+    // has a cohort-mate.
+    for &clusters in &cluster_counts {
+        if clusters < 2 {
+            continue;
+        }
+        let threads = 2 * clusters;
+        let cell = |kind: LockKind| {
+            &cells
+                .iter()
+                .find(|(c, r)| *c == clusters && r.kind == kind && r.threads == threads)
+                .expect("check cell present")
+                .1
+        };
+        let mcs = cell(LockKind::Mcs);
+        let cna = cell(LockKind::Cna);
+        let ok = cna.throughput >= mcs.throughput;
+        println!(
+            "check: CNA vs MCS at c={clusters} t={threads}: {:.2}x ({} vs {} migrations) {}",
+            cna.throughput / mcs.throughput.max(1.0),
+            cna.migrations,
+            mcs.migrations,
+            if ok { "ok" } else { "FAILED" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("fig_cna: acceptance shape violated");
+        std::process::exit(1);
+    }
+}

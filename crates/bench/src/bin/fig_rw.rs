@@ -21,7 +21,8 @@
 //! Environment: `LBENCH_RW_THREADS` (default: `LBENCH_ABLATION_THREADS`,
 //! i.e. 32), plus the usual `LBENCH_*` knobs and `RESULTS_DIR`.
 
-use cohort_bench::{ablation_threads, base_config};
+use cohort_bench::{ablation_threads, base_config, knob_or_die, schema};
+use lbench::env::env_positive_usize;
 use lbench::{run_rw_lbench, RwBenchResult, RwLockKind};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -31,11 +32,7 @@ use std::path::PathBuf;
 const READ_RATIOS: [u32; 4] = [0, 50, 90, 99];
 
 fn rw_threads() -> usize {
-    std::env::var("LBENCH_RW_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or_else(ablation_threads)
+    knob_or_die(env_positive_usize("LBENCH_RW_THREADS")).unwrap_or_else(ablation_threads)
 }
 
 fn write_csv(cells: &[RwBenchResult]) -> std::io::Result<PathBuf> {
@@ -43,11 +40,7 @@ fn write_csv(cells: &[RwBenchResult]) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(&dir)?;
     let path = PathBuf::from(dir).join("fig_rw.csv");
     let mut f = std::fs::File::create(&path)?;
-    writeln!(
-        f,
-        "lock,read_pct,threads,throughput,read_ops,write_ops,exclusive_acquisitions,\
-         migrations,tenures,local_handoffs,mean_streak,max_streak,policy"
-    )?;
+    writeln!(f, "{}", schema::FIG_RW_HEADER)?;
     for r in cells {
         writeln!(
             f,

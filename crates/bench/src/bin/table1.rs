@@ -6,27 +6,28 @@
 //! Amdahl ceiling; write-heavy — NUMA-aware locks out-scale the oblivious
 //! ones by ≥20%, with untuned HBO and C-BO-BO lagging everywhere.
 
-use cohort_bench::{clusters, emit, thread_grid, window_ns, Table};
+use cohort_bench::{clusters, emit, knob_or_die, thread_grid, window_ns, Table};
 use cohort_kvstore::workload::{run_kv, KvWorkload};
-use lbench::{LockKind, PolicySpec};
+use lbench::env::{env_bool, env_policy};
+use lbench::LockKind;
 use std::time::Duration;
 
 fn main() {
     let grid: Vec<usize> = thread_grid().into_iter().filter(|&t| t <= 128).collect();
     // KV_POLICY selects the cache lock's handoff policy for the cohort
     // columns (PolicySpec::parse syntax, e.g. "count:16", "time:50000",
-    // "adaptive"); unset = the paper's count(64).
-    let policy = std::env::var("KV_POLICY")
-        .ok()
-        .map(|s| PolicySpec::parse(&s).unwrap_or_else(|e| panic!("KV_POLICY: {e}")));
+    // "adaptive"); unset = the paper's count(64). A malformed value
+    // aborts with an error naming the knob.
+    let policy = knob_or_die(env_policy("KV_POLICY"));
     if let Some(p) = policy {
         eprintln!("table1: cache-lock policy {p}");
     }
     // KV_RW=1 runs the cache lock in reader-writer mode: cohort columns
     // become their C-RW equivalents (gets on the shared side, via the
     // LRU-free peek), pthread becomes std::sync::RwLock, and the
-    // remaining columns keep exclusive reads.
-    let rw = std::env::var("KV_RW").is_ok_and(|v| v == "1");
+    // remaining columns keep exclusive reads. `KV_RW=yes` (or any other
+    // unrecognized spelling) aborts instead of being silently ignored.
+    let rw = knob_or_die(env_bool("KV_RW"));
     if rw {
         eprintln!("table1: KV_RW=1 — gets routed through the shared read path");
     }

@@ -14,42 +14,57 @@
 //!   milliseconds (default 10; the paper measured 60 s of wall time).
 //! * `LBENCH_CLUSTERS` — NUMA clusters (default 4, the T5440).
 //! * `RESULTS_DIR` — where CSV copies are written (default `results/`).
+//!
+//! Knob parsing is strict (`lbench::env`): a present-but-malformed value
+//! aborts the binary with an error naming the knob and the accepted
+//! syntax, instead of being silently ignored.
 
+pub mod schema;
+
+use lbench::env::{env_positive_usize, env_positive_usize_list, env_u64, EnvKnobError};
 use lbench::{run_lbench, LBenchConfig, LBenchResult, LockKind, PolicySpec};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
-/// Thread-count grid for the sweeps.
+/// Unwraps an env-knob parse, aborting the binary with the knob-naming
+/// error message on failure — a typo'd knob must never be silently
+/// ignored (the run would measure a configuration the operator did not
+/// ask for).
+pub fn knob_or_die<T>(parsed: Result<T, EnvKnobError>) -> T {
+    parsed.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Thread-count grid for the sweeps (`LBENCH_THREADS`; malformed or zero
+/// entries abort).
 pub fn thread_grid() -> Vec<usize> {
-    std::env::var("LBENCH_THREADS")
-        .ok()
-        .map(|s| {
-            s.split(',')
-                .filter_map(|t| t.trim().parse::<usize>().ok())
-                .filter(|&t| t >= 1)
-                .collect::<Vec<_>>()
-        })
-        .filter(|v| !v.is_empty())
+    knob_or_die(env_positive_usize_list("LBENCH_THREADS"))
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64])
 }
 
-/// Virtual measurement window per cell.
+/// Virtual measurement window per cell (`LBENCH_WINDOW_MS`; malformed
+/// values abort).
 pub fn window_ns() -> u64 {
-    let ms = std::env::var("LBENCH_WINDOW_MS")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(10);
-    ms * 1_000_000
+    knob_or_die(env_u64("LBENCH_WINDOW_MS")).unwrap_or(10) * 1_000_000
 }
 
-/// Cluster count (the T5440 had 4).
+/// Cluster count (the T5440 had 4; `LBENCH_CLUSTERS` outside 1..=32
+/// aborts through the same knob error path as every other knob).
 pub fn clusters() -> usize {
-    std::env::var("LBENCH_CLUSTERS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&c| (1..=32).contains(&c))
-        .unwrap_or(4)
+    knob_or_die(
+        env_positive_usize("LBENCH_CLUSTERS").and_then(|parsed| match parsed {
+            Some(c) if !(1..=32).contains(&c) => Err(EnvKnobError::Number {
+                knob: "LBENCH_CLUSTERS".to_string(),
+                value: c.to_string(),
+                expected: "an integer in 1..=32",
+            }),
+            other => Ok(other),
+        }),
+    )
+    .unwrap_or(4)
 }
 
 /// The default LBench configuration for the figure sweeps.
@@ -281,11 +296,7 @@ pub fn write_policy_csv(rows: &[PolicyRow], name: &str) -> std::io::Result<PathB
     std::fs::create_dir_all(&dir)?;
     let path = PathBuf::from(dir).join(format!("{name}.csv"));
     let mut f = std::fs::File::create(&path)?;
-    writeln!(
-        f,
-        "lock,policy,threads,throughput,stddev_pct,mean_batch,misses_per_cs,\
-         tenures,local_handoffs,mean_streak,max_streak,migrations_per_tenure"
-    )?;
+    writeln!(f, "{}", schema::POLICY_HEADER)?;
     for row in rows {
         let r = &row.result;
         writeln!(
@@ -318,13 +329,9 @@ pub fn emit_policy_rows(title: &str, rows: &[PolicyRow], csv_name: &str) {
 }
 
 /// Thread count for the ablation binaries (`LBENCH_ABLATION_THREADS`,
-/// default 32).
+/// default 32; malformed or zero values abort).
 pub fn ablation_threads() -> usize {
-    std::env::var("LBENCH_ABLATION_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or(32)
+    knob_or_die(env_positive_usize("LBENCH_ABLATION_THREADS")).unwrap_or(32)
 }
 
 #[cfg(test)]

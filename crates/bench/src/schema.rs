@@ -1,0 +1,112 @@
+//! Single source of truth for the CSV schemas the bench binaries emit.
+//!
+//! Every exhibit binary writes a CSV into `RESULTS_DIR`; several of those
+//! files are committed under `results/`. When a binary's schema changes
+//! (a column added, a lock renamed), the committed copies silently go
+//! stale — the header no longer matches what the binary would produce.
+//! This module centralizes the headers so that (a) the writers and the
+//! checker can never disagree, and (b) the `csv_schema` integration test
+//! can fail loudly on any committed CSV whose header drifted from its
+//! generating binary.
+
+use lbench::{LockKind, RwLockKind};
+
+/// Header of the `Table`-shaped CSVs (`threads` + one column per lock).
+pub fn table_header(locks: &[LockKind]) -> String {
+    let mut s = String::from("threads");
+    for k in locks {
+        s.push(',');
+        s.push_str(k.name());
+    }
+    s
+}
+
+/// Header of `fig_rw.csv` (written by the `fig_rw` binary).
+pub const FIG_RW_HEADER: &str = "lock,read_pct,threads,throughput,read_ops,write_ops,\
+     exclusive_acquisitions,migrations,tenures,local_handoffs,mean_streak,max_streak,policy";
+
+/// Header of `fig_cna.csv` (written by the `fig_cna` binary).
+pub const FIG_CNA_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,migrations,\
+     misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,policy";
+
+/// Header of the policy-sweep CSVs (`ablation_policy.csv`,
+/// `ablation_handoff.csv`; written by [`crate::write_policy_csv`]).
+pub const POLICY_HEADER: &str = "lock,policy,threads,throughput,stddev_pct,mean_batch,\
+     misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,migrations_per_tenure";
+
+/// The header `file_name` (e.g. `"fig_rw.csv"`) is expected to carry, or
+/// `None` for a name no current binary produces. Table-shaped exhibits
+/// derive their headers from the same [`LockKind`] arrays the binaries
+/// sweep, so a lock rename or set change shows up here immediately.
+pub fn expected_header(file_name: &str) -> Option<String> {
+    match file_name {
+        "fig_rw.csv" => Some(FIG_RW_HEADER.to_string()),
+        "fig_cna.csv" => Some(FIG_CNA_HEADER.to_string()),
+        "ablation_policy.csv" | "ablation_handoff.csv" => Some(POLICY_HEADER.to_string()),
+        "fig2_throughput.csv"
+        | "fig3_misses_per_cs.csv"
+        | "fig4_low_contention.csv"
+        | "fig5_fairness.csv" => Some(table_header(&LockKind::FIG2)),
+        "fig6_abortable.csv" | "fig6_abort_rate.csv" => Some(table_header(&LockKind::FIG6)),
+        _ => {
+            // table1_get{pct}[_rw].csv and table2*.csv share the TABLES set.
+            if file_name.starts_with("table1_get") || file_name.starts_with("table2") {
+                Some(table_header(&LockKind::TABLES))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Compile-guard: `RwLockKind` names appear in `fig_rw.csv` rows (not the
+/// header), so schema drift there is caught by the row writer itself.
+#[allow(dead_code)]
+fn _rw_names_live_in_rows(k: RwLockKind) -> &'static str {
+    k.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_headers_match_the_registry_names() {
+        let t = expected_header("table1_get90.csv").unwrap();
+        assert!(t.starts_with("threads,pthread,Fib-BO,MCS,"), "{t}");
+        assert!(t.ends_with("C-MCS-MCS"), "{t}");
+        // The figure binaries' actual emit() names, not the figure numbers.
+        for f in [
+            "fig2_throughput.csv",
+            "fig3_misses_per_cs.csv",
+            "fig4_low_contention.csv",
+            "fig5_fairness.csv",
+        ] {
+            assert_eq!(
+                expected_header(f),
+                Some(table_header(&LockKind::FIG2)),
+                "{f}"
+            );
+        }
+        assert_eq!(
+            expected_header("table2_mmicro.csv"),
+            Some(table_header(&LockKind::TABLES))
+        );
+        assert_eq!(
+            expected_header("fig6_abort_rate.csv").unwrap(),
+            "threads,A-CLH,A-HBO,A-C-BO-BO,A-C-BO-CLH"
+        );
+        assert_eq!(
+            expected_header("table1_get50_rw.csv"),
+            expected_header("table1_get50.csv")
+        );
+        assert_eq!(expected_header("unknown.csv"), None);
+    }
+
+    #[test]
+    fn literal_headers_have_no_stray_whitespace() {
+        for h in [FIG_RW_HEADER, FIG_CNA_HEADER, POLICY_HEADER] {
+            assert!(!h.contains(' '), "continuation indent leaked: {h}");
+        }
+    }
+}

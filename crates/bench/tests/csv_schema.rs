@@ -1,0 +1,54 @@
+//! Guards the committed `results/*.csv` exhibits against schema drift:
+//! every committed CSV's header must match what its generating binary
+//! currently emits (single source of truth: `cohort_bench::schema`).
+//! A column added to a writer, a lock renamed in the registry, or a CSV
+//! committed from a stale build all fail here with a regeneration hint.
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    // crates/bench/ -> workspace root -> results/
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[test]
+fn committed_csv_headers_match_their_generating_binaries() {
+    let dir = results_dir();
+    let entries = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("results/ must exist at {}: {e}", dir.display()));
+    let mut checked = 0usize;
+    for entry in entries {
+        let path = entry.expect("readable results/ entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 file name")
+            .to_string();
+        let expected = cohort_bench::schema::expected_header(&name).unwrap_or_else(|| {
+            panic!(
+                "results/{name} has no registered schema — if a binary still emits it, \
+                 register the header in cohort_bench::schema::expected_header; if not, \
+                 delete the orphaned CSV"
+            )
+        });
+        let file = fs::File::open(&path).expect("readable CSV");
+        let mut header = String::new();
+        BufReader::new(file)
+            .read_line(&mut header)
+            .expect("CSV has a first line");
+        assert_eq!(
+            header.trim_end(),
+            expected,
+            "results/{name} is stale: its header no longer matches what the generating \
+             binary emits — regenerate it (see docs/ARCHITECTURE.md, \
+             \"Producing and regenerating results/*.csv\")"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no CSVs found in {}", dir.display());
+}

@@ -38,7 +38,7 @@
 use crate::lock::{CohortLock, CohortToken};
 use crate::policy::{CohortStats, CountBound, HandoffPolicy};
 use crate::traits::{GlobalLock, LocalCohortLock};
-use base_locks::RawLock;
+use base_locks::{RawLock, SpinWait};
 use crossbeam_utils::CachePadded;
 use numa_topology::{current_cluster_in, ClusterId, Topology};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -229,19 +229,16 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     ///
     /// Called only by the writer holding `self.writer` *after* raising
     /// `write_active`, so no new reader can push a count back up for
-    /// good: late readers observe the barrier and retreat. Spins escalate
-    /// to `yield_now` (the base-locks idiom) so the readers being waited
-    /// on can run on oversubscribed hosts.
+    /// good: late readers observe the barrier and retreat. The wait is a
+    /// shared [`SpinWait`]: a bounded spin budget, then a scheduler yield
+    /// on **every** round — on an oversubscribed host the readers being
+    /// drained must actually get the CPU to finish, and the old
+    /// yield-every-64th-spin pattern could keep them off it indefinitely.
     fn wait_for_readers(&self) {
-        let mut spins = 0u32;
+        let mut wait = SpinWait::new();
         for slot in self.readers.iter() {
             while slot.load(Ordering::SeqCst) != 0 {
-                spins = spins.wrapping_add(1);
-                if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+                wait.snooze();
             }
         }
     }
@@ -251,17 +248,13 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     pub fn lock_read(&self) -> RwReadToken {
         let cluster = current_cluster_in(self.topology());
         let slot = &self.readers[cluster.as_usize()];
-        let mut spins = 0u32;
+        // Shared spin-then-yield budget across barrier re-checks: once
+        // exhausted, every probe yields so the writer being waited out can
+        // actually run (and finish) on oversubscribed hosts.
+        let mut wait = SpinWait::new();
         loop {
             while self.readers_blocked() {
-                // Escalate to yields so the writer being waited out can
-                // actually run (and finish) on oversubscribed hosts.
-                spins = spins.wrapping_add(1);
-                if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+                wait.snooze();
             }
             // Dekker step 1: announce, *then* re-check the barrier.
             slot.fetch_add(1, Ordering::SeqCst);
@@ -666,6 +659,25 @@ mod tests {
         // SAFETY: releasing the acquisition discarded above.
         unsafe { rw.unlock_read_on(cluster) };
         assert!(rw.reader_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn oversubscribed_drain_cannot_livelock() {
+        // Regression for the spin-loop escalation: run far more threads
+        // than the host has CPUs, under writer preference and a frequent
+        // write mix, so writer drains constantly wait on readers that
+        // need the CPU (and vice versa). With the old
+        // yield-every-64th-spin loops this configuration could stall
+        // nearly indefinitely on a small host; with the shared SpinWait
+        // every waiter cedes the CPU once its budget is spent and the run
+        // must complete promptly.
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = (4 * cpus).clamp(8, 32);
+        let rw = Arc::new(Rw::new(topo()));
+        let (violations, writes) = stress(Arc::clone(&rw), threads, 300, 2);
+        assert_eq!(violations, 0);
+        assert!(writes > 0);
+        assert!(rw.reader_counts().iter().all(|&c| c == 0), "counts drain");
     }
 
     #[test]

@@ -162,6 +162,19 @@ where
     }
 }
 
+// The CNA lock drives its local-handoff threshold through the same policy
+// layer, so it reports the same per-cluster streak statistics (a "tenure"
+// being a maximal run of deliberate local handoffs).
+impl<P: cohort::HandoffPolicy> HasCohortStats for numa_baselines::CnaLock<P> {
+    fn stats(&self) -> CohortStats {
+        self.cohort_stats()
+    }
+
+    fn policy_label(&self) -> String {
+        self.policy().label()
+    }
+}
+
 /// [`RawAdapter`] for cohort locks: additionally surfaces
 /// [`BenchLock::cohort_stats`].
 pub struct CohortAdapter<L: RawLock + HasCohortStats> {

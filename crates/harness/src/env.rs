@@ -1,0 +1,297 @@
+//! Strict environment-knob parsing for the bench binaries.
+//!
+//! The exhibits are configured through environment variables. A typo'd
+//! value (`KV_RW=yes`, `LBENCH_THREADS=four`) used to be *silently
+//! ignored* — the run proceeded with defaults and the operator compared
+//! numbers that were never produced under the requested configuration.
+//! These helpers make every knob fail loudly instead: each error names
+//! the knob, quotes the rejected value, and states the accepted syntax,
+//! matching the error style of [`PolicySpec::parse`].
+//!
+//! All helpers treat an *unset* knob as its documented default (`false`
+//! for booleans, `None` otherwise); only a *present but malformed* value
+//! is an error.
+
+use cohort::{PolicyParseError, PolicySpec};
+use std::fmt;
+
+/// Why an environment knob could not be parsed. The [`Display`](fmt::Display)
+/// output names the knob, the rejected value, and the accepted syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvKnobError {
+    /// A boolean knob held something other than `1`/`true`/`0`/`false`.
+    Bool {
+        /// The knob (environment variable) being parsed.
+        knob: String,
+        /// The rejected value.
+        value: String,
+    },
+    /// A numeric knob (or one entry of a comma-separated list) did not
+    /// parse, or violated its stated range.
+    Number {
+        /// The knob being parsed.
+        knob: String,
+        /// The rejected value (a single list entry where applicable).
+        value: String,
+        /// What the knob accepts, e.g. `"a positive integer"`.
+        expected: &'static str,
+    },
+    /// A policy knob failed [`PolicySpec::parse`].
+    Policy {
+        /// The knob being parsed.
+        knob: String,
+        /// The underlying parse error (already self-describing).
+        err: PolicyParseError,
+    },
+    /// The variable was set but not valid Unicode.
+    NotUnicode {
+        /// The knob being parsed.
+        knob: String,
+    },
+}
+
+impl fmt::Display for EnvKnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvKnobError::Bool { knob, value } => write!(
+                f,
+                "env knob {knob}: unrecognized value {value:?} \
+                 (accepted: 1, true, 0, false — case-insensitive)"
+            ),
+            EnvKnobError::Number {
+                knob,
+                value,
+                expected,
+            } => write!(
+                f,
+                "env knob {knob}: unrecognized value {value:?} (accepted: {expected})"
+            ),
+            EnvKnobError::Policy { knob, err } => write!(f, "env knob {knob}: {err}"),
+            EnvKnobError::NotUnicode { knob } => {
+                write!(f, "env knob {knob}: value is not valid Unicode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvKnobError {}
+
+/// Reads the variable, distinguishing unset from malformed.
+fn raw(knob: &str) -> Result<Option<String>, EnvKnobError> {
+    match std::env::var(knob) {
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(EnvKnobError::NotUnicode {
+            knob: knob.to_string(),
+        }),
+    }
+}
+
+/// Boolean knob: unset ⇒ `false`; `1`/`true` ⇒ `true`; `0`/`false` ⇒
+/// `false` (case-insensitive); anything else — including `yes`/`on` — is
+/// an error naming the knob and the accepted spellings.
+pub fn env_bool(knob: &str) -> Result<bool, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(false),
+        Some(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" => Ok(true),
+            "0" | "false" => Ok(false),
+            _ => Err(EnvKnobError::Bool {
+                knob: knob.to_string(),
+                value: v,
+            }),
+        },
+    }
+}
+
+/// `u64` knob: unset ⇒ `None`; a malformed value is an error.
+pub fn env_u64(knob: &str) -> Result<Option<u64>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| EnvKnobError::Number {
+                knob: knob.to_string(),
+                value: v,
+                expected: "an unsigned integer",
+            }),
+    }
+}
+
+/// Positive-`usize` knob (thread counts, cluster counts): unset ⇒
+/// `None`; `0` or a malformed value is an error.
+pub fn env_positive_usize(knob: &str) -> Result<Option<usize>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(EnvKnobError::Number {
+                knob: knob.to_string(),
+                value: v,
+                expected: "a positive integer",
+            }),
+        },
+    }
+}
+
+/// Comma-separated positive-`usize` list knob (thread grids): unset or
+/// all-blank ⇒ `None`; any malformed or zero entry is an error quoting
+/// that entry.
+pub fn env_positive_usize_list(knob: &str) -> Result<Option<Vec<usize>>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => {
+            let mut out = Vec::new();
+            for part in v.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                match part.parse::<usize>() {
+                    Ok(n) if n >= 1 => out.push(n),
+                    _ => {
+                        return Err(EnvKnobError::Number {
+                            knob: knob.to_string(),
+                            value: part.to_string(),
+                            expected: "a comma-separated list of positive integers",
+                        })
+                    }
+                }
+            }
+            Ok(if out.is_empty() { None } else { Some(out) })
+        }
+    }
+}
+
+/// [`PolicySpec`] knob: unset ⇒ `None`; parse errors are wrapped so the
+/// message leads with the knob name.
+pub fn env_policy(knob: &str) -> Result<Option<PolicySpec>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => PolicySpec::parse(&v)
+            .map(Some)
+            .map_err(|err| EnvKnobError::Policy {
+                knob: knob.to_string(),
+                err,
+            }),
+    }
+}
+
+/// Comma-separated [`PolicySpec`] list knob (`LBENCH_EXTRA_POLICIES`):
+/// unset or all-blank ⇒ `None`; any malformed entry is an error.
+pub fn env_policy_list(knob: &str) -> Result<Option<Vec<PolicySpec>>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => {
+            let mut out = Vec::new();
+            for part in v.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                out.push(PolicySpec::parse(part).map_err(|err| EnvKnobError::Policy {
+                    knob: knob.to_string(),
+                    err,
+                })?);
+            }
+            Ok(if out.is_empty() { None } else { Some(out) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // The process environment is global and the test harness is
+    // multithreaded: concurrent set_var/getenv is a data race in glibc.
+    // Every test that mutates the environment serializes on this lock
+    // (and additionally uses its own variable names, so a poisoned lock
+    // cannot leak state between tests).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn env_guard() -> MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn bool_knob_accepts_the_four_spellings_and_unset() {
+        let _g = env_guard();
+        assert_eq!(env_bool("LBENCH_TEST_BOOL_UNSET"), Ok(false));
+        for (v, want) in [("1", true), ("true", true), ("0", false), ("FALSE", false)] {
+            std::env::set_var("LBENCH_TEST_BOOL_OK", v);
+            assert_eq!(env_bool("LBENCH_TEST_BOOL_OK"), Ok(want), "{v}");
+        }
+        std::env::remove_var("LBENCH_TEST_BOOL_OK");
+    }
+
+    #[test]
+    fn bool_knob_rejects_yes_naming_the_knob() {
+        let _g = env_guard();
+        std::env::set_var("LBENCH_TEST_BOOL_BAD", "yes");
+        let err = env_bool("LBENCH_TEST_BOOL_BAD").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("LBENCH_TEST_BOOL_BAD"), "{msg}");
+        assert!(msg.contains("\"yes\""), "{msg}");
+        assert!(msg.contains("1, true, 0, false"), "{msg}");
+        std::env::remove_var("LBENCH_TEST_BOOL_BAD");
+    }
+
+    #[test]
+    fn numeric_knobs_reject_garbage_and_zero() {
+        let _g = env_guard();
+        std::env::set_var("LBENCH_TEST_NUM", "12");
+        assert_eq!(env_u64("LBENCH_TEST_NUM"), Ok(Some(12)));
+        assert_eq!(env_positive_usize("LBENCH_TEST_NUM"), Ok(Some(12)));
+        std::env::set_var("LBENCH_TEST_NUM", "0");
+        assert_eq!(env_u64("LBENCH_TEST_NUM"), Ok(Some(0)));
+        assert!(env_positive_usize("LBENCH_TEST_NUM").is_err(), "0 threads");
+        std::env::set_var("LBENCH_TEST_NUM", "four");
+        let msg = env_u64("LBENCH_TEST_NUM").unwrap_err().to_string();
+        assert!(
+            msg.contains("\"four\"") && msg.contains("LBENCH_TEST_NUM"),
+            "{msg}"
+        );
+        std::env::remove_var("LBENCH_TEST_NUM");
+    }
+
+    #[test]
+    fn list_knob_parses_and_flags_the_bad_entry() {
+        let _g = env_guard();
+        std::env::set_var("LBENCH_TEST_LIST", "1, 4,8");
+        assert_eq!(
+            env_positive_usize_list("LBENCH_TEST_LIST"),
+            Ok(Some(vec![1, 4, 8]))
+        );
+        std::env::set_var("LBENCH_TEST_LIST", "1,x,8");
+        let msg = env_positive_usize_list("LBENCH_TEST_LIST")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("\"x\""), "{msg}");
+        std::env::set_var("LBENCH_TEST_LIST", " , ");
+        assert_eq!(env_positive_usize_list("LBENCH_TEST_LIST"), Ok(None));
+        std::env::remove_var("LBENCH_TEST_LIST");
+    }
+
+    #[test]
+    fn policy_knobs_wrap_parse_errors_with_the_knob_name() {
+        let _g = env_guard();
+        std::env::set_var("LBENCH_TEST_POLICY", "count:16");
+        assert_eq!(
+            env_policy("LBENCH_TEST_POLICY"),
+            Ok(Some(PolicySpec::Count { bound: 16 }))
+        );
+        std::env::set_var("LBENCH_TEST_POLICY", "count:many");
+        let msg = env_policy("LBENCH_TEST_POLICY").unwrap_err().to_string();
+        assert!(msg.contains("LBENCH_TEST_POLICY"), "{msg}");
+        assert!(msg.contains("count:<bound>"), "{msg}");
+        std::env::remove_var("LBENCH_TEST_POLICY");
+
+        std::env::set_var("LBENCH_TEST_POLICIES", "count:8,time:100");
+        assert_eq!(
+            env_policy_list("LBENCH_TEST_POLICIES"),
+            Ok(Some(vec![
+                PolicySpec::Count { bound: 8 },
+                PolicySpec::Time { budget_ns: 100 }
+            ]))
+        );
+        std::env::set_var("LBENCH_TEST_POLICIES", "count:8,bogus");
+        assert!(env_policy_list("LBENCH_TEST_POLICIES").is_err());
+        std::env::remove_var("LBENCH_TEST_POLICIES");
+    }
+}

@@ -32,6 +32,7 @@
 
 mod bench_lock;
 mod bench_rwlock;
+pub mod env;
 pub mod pace;
 mod registry;
 mod runner;
@@ -43,6 +44,7 @@ pub use bench_lock::{
 };
 pub use bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 pub use cohort::{CohortStats, PolicySpec};
+pub use env::EnvKnobError;
 pub use registry::{LockKind, RwLockKind};
 pub use runner::{
     run_lbench, run_lbench_on, run_rw_lbench, LBenchConfig, LBenchResult, Placement, RwBenchResult,

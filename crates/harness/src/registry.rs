@@ -9,7 +9,7 @@ use cohort::{
     GlobalBoLock, LocalAClhLock, LocalAboLock, LocalBoLock, LocalMcsLock, LocalTicketLock,
     PolicySpec, RwFairness,
 };
-use numa_baselines::{FcMcsLock, HboLock, HboParams, HclhLock};
+use numa_baselines::{CnaLock, FcMcsLock, HboLock, HboParams, HclhLock};
 use numa_topology::Topology;
 use std::sync::Arc;
 
@@ -30,6 +30,10 @@ pub enum LockKind {
     HboTuned,
     Hclh,
     FcMcs,
+    // The modern single-word competitor (Dice & Kogan, EuroSys '19):
+    // paper-comparable threshold (64) and a tight-threshold variant.
+    Cna,
+    CnaTight,
     // Cohort locks (the paper's contribution).
     CBoBo,
     CTktTkt,
@@ -57,6 +61,8 @@ impl LockKind {
             LockKind::HboTuned => "HBO (tuned)",
             LockKind::Hclh => "HCLH",
             LockKind::FcMcs => "FC-MCS",
+            LockKind::Cna => "CNA",
+            LockKind::CnaTight => "CNA (t=4)",
             LockKind::CBoBo => "C-BO-BO",
             LockKind::CTktTkt => "C-TKT-TKT",
             LockKind::CBoMcs => "C-BO-MCS",
@@ -83,6 +89,33 @@ impl LockKind {
         )
     }
 
+    /// Fairness threshold of the [`LockKind::CnaTight`] variant (also
+    /// baked into its `"CNA (t=4)"` display name — keep the two in sync).
+    pub const CNA_TIGHT_THRESHOLD: u64 = 4;
+
+    /// Whether this is a CNA lock (not a cohort lock, but policy-driven
+    /// all the same).
+    pub fn is_cna(self) -> bool {
+        matches!(self, LockKind::Cna | LockKind::CnaTight)
+    }
+
+    /// The CNA fairness threshold this kind is registered with (`None`
+    /// for non-CNA kinds) — the single source the `fig_cna` self-check
+    /// asserts streaks against.
+    pub fn cna_threshold(self) -> Option<u64> {
+        match self {
+            LockKind::Cna => Some(cohort::CountBound::PAPER_BOUND),
+            LockKind::CnaTight => Some(Self::CNA_TIGHT_THRESHOLD),
+            _ => None,
+        }
+    }
+
+    /// Whether a [`PolicySpec`] applies to this kind — the cohort locks
+    /// *and* the CNA family share the handoff-policy knob.
+    pub fn has_policy_knob(self) -> bool {
+        self.is_cohort() || self.is_cna()
+    }
+
     /// Instantiates the lock over `topo`.
     pub fn make(self, topo: &Arc<Topology>) -> Arc<dyn BenchLock> {
         match self {
@@ -102,6 +135,11 @@ impl LockKind {
             ))),
             LockKind::Hclh => Arc::new(RawAdapter::new(HclhLock::new(Arc::clone(topo)))),
             LockKind::FcMcs => Arc::new(RawAdapter::new(FcMcsLock::new(Arc::clone(topo)))),
+            LockKind::Cna => Arc::new(CohortAdapter::new(CnaLock::new(Arc::clone(topo)))),
+            LockKind::CnaTight => Arc::new(CohortAdapter::new(CnaLock::with_threshold(
+                Arc::clone(topo),
+                Self::CNA_TIGHT_THRESHOLD,
+            ))),
             LockKind::CBoBo => Arc::new(CohortAdapter::new(CBoBo::new(Arc::clone(topo)))),
             LockKind::CTktTkt => Arc::new(CohortAdapter::new(CTktTkt::new(Arc::clone(topo)))),
             LockKind::CBoMcs => Arc::new(CohortAdapter::new(CBoMcs::new(Arc::clone(topo)))),
@@ -130,16 +168,17 @@ impl LockKind {
         policy: Option<PolicySpec>,
     ) -> Arc<dyn BenchLock> {
         match policy {
-            Some(spec) if self.is_cohort() => self.make_with_policy(topo, spec),
+            Some(spec) if self.has_policy_knob() => self.make_with_policy(topo, spec),
             _ => self.make(topo),
         }
     }
 
     /// Instantiates the lock over `topo` with an explicit handoff policy.
     ///
-    /// Cohort locks are built as `CohortLock<G, L, DynPolicy>` carrying
-    /// `policy.build()`; for every other (non-cohort) kind the policy does
-    /// not apply and plain [`make`](Self::make) is used.
+    /// Cohort locks are built as `CohortLock<G, L, DynPolicy>` and CNA
+    /// kinds as `CnaLock<DynPolicy>`, each carrying `policy.build()`; for
+    /// every other kind the policy does not apply and plain
+    /// [`make`](Self::make) is used.
     pub fn make_with_policy(self, topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock> {
         fn cohort<G, L>(topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock>
         where
@@ -173,6 +212,9 @@ impl LockKind {
             LockKind::CMcsMcs => cohort::<base_locks::McsLock, LocalMcsLock>(topo, policy),
             LockKind::ACBoBo => abortable::<GlobalBoLock, LocalAboLock>(topo, policy),
             LockKind::ACBoClh => abortable::<GlobalBoLock, LocalAClhLock>(topo, policy),
+            LockKind::Cna | LockKind::CnaTight => Arc::new(CohortAdapter::new(
+                CnaLock::<DynPolicy>::with_handoff_policy(Arc::clone(topo), policy.build()),
+            )),
             _ => self.make(topo),
         }
     }
@@ -196,6 +238,16 @@ impl LockKind {
         LockKind::AHbo,
         LockKind::ACBoBo,
         LockKind::ACBoClh,
+    ];
+
+    /// The comparison set of the `fig_cna` exhibit: cohorting
+    /// (C-BO-MCS) vs. compaction (CNA at the paper-comparable threshold
+    /// and a tight one) vs. the NUMA-oblivious MCS both build on.
+    pub const FIG_CNA: [LockKind; 4] = [
+        LockKind::Mcs,
+        LockKind::CBoMcs,
+        LockKind::Cna,
+        LockKind::CnaTight,
     ];
 
     /// The eleven lock columns of Tables 1 and 2.
@@ -372,6 +424,8 @@ mod tests {
             LockKind::HboTuned,
             LockKind::Hclh,
             LockKind::FcMcs,
+            LockKind::Cna,
+            LockKind::CnaTight,
             LockKind::CBoBo,
             LockKind::CTktTkt,
             LockKind::CBoMcs,
@@ -404,21 +458,59 @@ mod tests {
         assert!(LockKind::ACBoClh.is_cohort());
         assert!(!LockKind::FcMcs.is_cohort());
         assert!(!LockKind::Hbo.is_cohort());
+        // CNA is policy-driven but not a cohort lock.
+        assert!(!LockKind::Cna.is_cohort());
+        assert!(LockKind::Cna.is_cna());
+        assert!(LockKind::CnaTight.has_policy_knob());
+        assert!(LockKind::CBoMcs.has_policy_knob());
+        assert!(!LockKind::Mcs.has_policy_knob());
+        assert_eq!(LockKind::Cna.cna_threshold(), Some(64));
+        assert_eq!(
+            LockKind::CnaTight.cna_threshold(),
+            Some(LockKind::CNA_TIGHT_THRESHOLD)
+        );
+        assert_eq!(LockKind::Mcs.cna_threshold(), None);
     }
 
     #[test]
     fn cohort_kinds_report_stats_and_others_do_not() {
         let topo = Arc::new(Topology::new(4));
-        for kind in [LockKind::CBoBo, LockKind::CTktMcs, LockKind::ACBoClh] {
+        for kind in [
+            LockKind::CBoBo,
+            LockKind::CTktMcs,
+            LockKind::ACBoClh,
+            LockKind::Cna,
+            LockKind::CnaTight,
+        ] {
             let lock = kind.make(&topo);
             lock.acquire();
             lock.release();
-            let stats = lock.cohort_stats().expect("cohort locks expose stats");
+            let stats = lock
+                .cohort_stats()
+                .expect("policy-driven locks expose stats");
             assert_eq!(stats.tenures(), 1, "{kind}");
             assert_eq!(stats.global_releases(), 1, "{kind}");
         }
         assert!(LockKind::Mcs.make(&topo).cohort_stats().is_none());
         assert!(LockKind::Pthread.make(&topo).cohort_stats().is_none());
+    }
+
+    #[test]
+    fn cna_threshold_variants_report_their_labels() {
+        let topo = Arc::new(Topology::new(4));
+        assert_eq!(
+            LockKind::Cna.make(&topo).policy_label().as_deref(),
+            Some("count(64)"),
+            "paper-comparable threshold"
+        );
+        assert_eq!(
+            LockKind::CnaTight.make(&topo).policy_label().as_deref(),
+            Some("count(4)")
+        );
+        // The policy knob reaches CNA exactly as it reaches cohort kinds.
+        let lock =
+            LockKind::Cna.make_with_optional_policy(&topo, Some(PolicySpec::Time { budget_ns: 9 }));
+        assert_eq!(lock.policy_label().as_deref(), Some("time(9ns)"));
     }
 
     #[test]
@@ -479,6 +571,8 @@ mod tests {
             LockKind::CMcsMcs,
             LockKind::ACBoBo,
             LockKind::ACBoClh,
+            LockKind::Cna,
+            LockKind::CnaTight,
         ];
         for kind in cohorts {
             for policy in [

@@ -27,20 +27,47 @@ pub fn mean_stddev_pct(xs: &[u64]) -> (f64, f64) {
 }
 
 /// Geometric mean (used when summarising speedup rows).
-pub fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+///
+/// Returns `None` for empty input or when **any** entry is zero, negative,
+/// or non-finite — such factors have no geometric mean. (An earlier
+/// version clamped them to `f64::MIN_POSITIVE`, which silently collapsed
+/// a whole speedup summary toward zero; a caller that wants to tolerate
+/// bad entries should use [`geomean_positive`] and report the skip count.)
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0 || !x.is_finite()) {
+        return None;
     }
-    let ln_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
-    (ln_sum / xs.len() as f64).exp()
+    let ln_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    Some((ln_sum / xs.len() as f64).exp())
+}
+
+/// Geometric mean of the positive finite entries of `xs`, skipping (and
+/// counting) the rest: returns `(mean, skipped)`, with `mean = None` when
+/// no usable entry remains. Callers should surface a nonzero skip count —
+/// a summary built on fewer factors than rows is not the summary the
+/// reader assumes.
+pub fn geomean_positive(xs: &[f64]) -> (Option<f64>, usize) {
+    let good: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|&x| x > 0.0 && x.is_finite())
+        .collect();
+    (geomean(&good), xs.len() - good.len())
 }
 
 /// Formats a throughput figure the way the paper's plots label them
 /// (e.g. `3.2e6/s`).
+///
+/// Unit promotion happens at the value the *printed* figure would round
+/// to, not at the raw magnitude — `999_960.0` prints as `1.00e6/s`, never
+/// as the four-digit `1000.0e3/s` (and `999.7` as `1.0e3/s`, not
+/// `1000/s`).
 pub fn fmt_throughput(t: f64) -> String {
-    if t >= 1e6 {
+    if t >= 999_950.0 {
+        // {:.1} of t/1e3 would round to 1000.0 from here on.
         format!("{:.2}e6/s", t / 1e6)
-    } else if t >= 1e3 {
+    } else if t >= 999.5 {
+        // {:.0} of t would round to 1000 from here on.
         format!("{:.1}e3/s", t / 1e3)
     } else {
         format!("{t:.0}/s")
@@ -74,8 +101,28 @@ mod tests {
 
     #[test]
     fn geomean_of_twos() {
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_refuses_degenerate_factors() {
+        // Regression: these used to clamp to ~1e-308 and silently drag the
+        // mean to ~0 — now the caller is forced to notice.
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[2.0, 0.0, 2.0]), None);
+        assert_eq!(geomean(&[2.0, -1.0]), None);
+        assert_eq!(geomean(&[2.0, f64::NAN]), None);
+        assert_eq!(geomean(&[2.0, f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn geomean_positive_skips_and_counts() {
+        let (mean, skipped) = geomean_positive(&[1.0, 4.0, 0.0, -3.0]);
+        assert!((mean.unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(skipped, 2);
+        assert_eq!(geomean_positive(&[0.0]), (None, 1));
+        assert_eq!(geomean_positive(&[]), (None, 0));
     }
 
     #[test]
@@ -83,5 +130,19 @@ mod tests {
         assert_eq!(fmt_throughput(3_200_000.0), "3.20e6/s");
         assert_eq!(fmt_throughput(4_500.0), "4.5e3/s");
         assert_eq!(fmt_throughput(12.0), "12/s");
+    }
+
+    #[test]
+    fn throughput_formatting_boundaries() {
+        // The exact unit boundaries…
+        assert_eq!(fmt_throughput(1e6), "1.00e6/s");
+        assert_eq!(fmt_throughput(1e3), "1.0e3/s");
+        assert_eq!(fmt_throughput(0.0), "0/s");
+        // …and the rounding band just below them, where the old code
+        // printed four-digit mantissas ("1000.0e3/s", "1000/s").
+        assert_eq!(fmt_throughput(999_960.0), "1.00e6/s");
+        assert_eq!(fmt_throughput(999_949.0), "999.9e3/s");
+        assert_eq!(fmt_throughput(999.7), "1.0e3/s");
+        assert_eq!(fmt_throughput(999.4), "999/s");
     }
 }

@@ -10,6 +10,7 @@ use cohort::{
     LocalAClhLock, LocalAboLock, LocalBoLock, LocalCohortLock, LocalMcsLock, LocalTicketLock,
     NeverPass, PolicySpec, TimeBound, Unbounded,
 };
+use numa_baselines::CnaLock;
 use numa_topology::Topology;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -172,6 +173,61 @@ fn all_seven_paper_compositions_under_every_policy_family() {
         GlobalBoLock, LocalAboLock;     // A-C-BO-BO
         GlobalBoLock, LocalAClhLock;    // A-C-BO-CLH
     );
+}
+
+#[test]
+fn cna_under_every_policy_family_keeps_exclusion_and_balance() {
+    // The CNA lock shares the policy layer with the cohort family; its
+    // release-path splicing must keep the same exclusion and conservation
+    // invariants under every policy the registry can install.
+    let specs = [
+        PolicySpec::Count { bound: 64 },
+        PolicySpec::Count { bound: 2 },
+        PolicySpec::Time { budget_ns: 30_000 },
+        PolicySpec::Adaptive { min: 4, max: 128 },
+        PolicySpec::NeverPass,
+        PolicySpec::Unbounded,
+    ];
+    for spec in specs {
+        let lock = Arc::new(CnaLock::with_handoff_policy(
+            Arc::new(Topology::new(4)),
+            spec.build(),
+        ));
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4u64)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        let t = lock.lock();
+                        let va = a.load(Ordering::Relaxed);
+                        let vb = b.load(Ordering::Relaxed);
+                        assert_eq!(va, vb, "critical section raced under {spec}");
+                        a.store(va + 1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                        b.store(vb + 1, Ordering::Relaxed);
+                        unsafe { lock.unlock(t) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::Relaxed), 1_000, "{spec}");
+        let stats = lock.cohort_stats();
+        assert_eq!(stats.tenures(), stats.global_releases(), "{spec}");
+        assert_eq!(stats.tenures() + stats.local_handoffs(), 1_000, "{spec}");
+        if let PolicySpec::Count { bound } = spec {
+            assert!(stats.max_streak() <= bound, "{spec}");
+        }
+        if spec == PolicySpec::NeverPass {
+            assert_eq!(stats.local_handoffs(), 0, "{spec}");
+        }
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Integration: the may-pass-local policy bounds cohort tenures.
 
-use cohort::{CohortLock, GlobalBoLock, LocalMcsLock, PassPolicy};
-use lbench::{run_lbench_on, LBenchConfig, LockKind, RawAdapter};
+use cohort::{CohortLock, GlobalBoLock, LocalMcsLock, PassPolicy, PolicySpec};
+use lbench::{run_lbench, run_lbench_on, LBenchConfig, LockKind, RawAdapter};
 use numa_topology::Topology;
 use std::sync::Arc;
 
@@ -47,5 +47,34 @@ fn never_pass_policy_disables_batching() {
     assert!(
         batch <= 8.0,
         "NeverPass should kill batching, got {batch:.1}"
+    );
+}
+
+fn run_cna_with_bound(bound: u64) -> (f64, u64) {
+    let cfg = LBenchConfig {
+        threads: 16,
+        window_ns: 3_000_000,
+        policy: Some(PolicySpec::Count { bound }),
+        ..Default::default()
+    };
+    let r = run_lbench(LockKind::Cna, &cfg);
+    (r.mean_batch, r.max_streak)
+}
+
+#[test]
+fn cna_threshold_bounds_batches_like_the_cohort_knob() {
+    // The CNA family answers to the same fairness knob: a tighter
+    // threshold must shorten same-cluster batches and cap the observed
+    // streak, mirroring `tighter_bound_means_shorter_batches` above.
+    let (tight_batch, tight_streak) = run_cna_with_bound(4);
+    let (loose_batch, _) = run_cna_with_bound(64);
+    assert!(tight_streak <= 4, "threshold 4 violated: {tight_streak}");
+    assert!(
+        tight_batch < loose_batch,
+        "threshold 4 gave batch {tight_batch:.1}, threshold 64 gave {loose_batch:.1}"
+    );
+    assert!(
+        tight_batch <= 16.0,
+        "threshold 4 should cap batches near 4, got {tight_batch:.1}"
     );
 }

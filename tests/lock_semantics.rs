@@ -69,6 +69,8 @@ fn every_registry_lock_supports_nested_distinct_instances() {
         LockKind::Mcs,
         LockKind::Hclh,
         LockKind::FcMcs,
+        LockKind::Cna,
+        LockKind::CnaTight,
         LockKind::CBoBo,
         LockKind::CMcsMcs,
         LockKind::ACBoClh,
