@@ -5,8 +5,10 @@
 //! This ablation prints the mean batch length per lock as the thread count
 //! grows, plus the full batch-length histogram at the top thread count.
 
-use cohort_bench::{base_config, thread_grid};
-use lbench::{run_lbench, LockKind};
+use cohort_bench::{
+    base_config, exhibit_main, metric_table, thread_grid, Exhibit, Measure, Measurement, TableSpec,
+};
+use lbench::{AnyLockKind, LockKind, Scenario};
 
 const LOCKS: [LockKind; 5] = [
     LockKind::Mcs,
@@ -17,35 +19,41 @@ const LOCKS: [LockKind; 5] = [
 ];
 
 fn main() {
-    eprintln!("ablation B: batch growth with contention");
-    println!("\n== Ablation B: mean same-cluster batch length ==");
-    print!("{:>8} ", "threads");
-    for k in LOCKS {
-        print!("{:>10} ", k.name());
-    }
-    println!();
     let grid = thread_grid();
-    let mut last_hists = Vec::new();
-    for &threads in &grid {
-        print!("{threads:>8} ");
-        last_hists.clear();
-        for kind in LOCKS {
-            let r = run_lbench(kind, &base_config(threads));
-            print!("{:>10.1} ", r.mean_batch);
-            last_hists.push((kind, r.batch_hist.clone()));
-        }
-        println!();
-    }
-    if let Some(&top) = grid.last() {
-        println!("\nBatch-length histograms at {top} threads (bucket = [2^i, 2^(i+1))):");
-        for (kind, hist) in last_hists {
-            let trimmed: Vec<String> = hist
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c > 0)
-                .map(|(i, c)| format!("2^{i}:{c}"))
-                .collect();
-            println!("  {:>10}: {}", kind.name(), trimmed.join(" "));
-        }
-    }
+    let top = grid.last().copied().unwrap_or(1);
+    exhibit_main(Exhibit {
+        name: "ablation_batching",
+        banner: "ablation B: batch growth with contention".into(),
+        locks: LOCKS.iter().copied().map(AnyLockKind::Excl).collect(),
+        grid,
+        measure: Measure::Scenario(Box::new(|&threads| {
+            (Scenario::steady(), base_config(threads))
+        })),
+        unit: "ops/s",
+        tables: vec![TableSpec {
+            csv: None,
+            text: true,
+            build: metric_table(
+                "Ablation B: mean same-cluster batch length".into(),
+                "threads",
+                1,
+                |r| r.mean_batch,
+            ),
+        }],
+        checks: vec![],
+        epilogue: Some(Box::new(move |ms: &[Measurement<usize>]| {
+            println!("\nBatch-length histograms at {top} threads (bucket = [2^i, 2^(i+1))):");
+            for m in ms.iter().filter(|m| m.cell == top) {
+                let trimmed: Vec<String> = m
+                    .result
+                    .batch_hist
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, c)| format!("2^{i}:{c}"))
+                    .collect();
+                println!("  {:>10}: {}", m.result.kind.name(), trimmed.join(" "));
+            }
+        })),
+    });
 }

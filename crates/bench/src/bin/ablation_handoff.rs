@@ -3,24 +3,48 @@
 //! The paper bounds consecutive local handoffs at 64 and reports that the
 //! unbounded ("deeply unfair") variant is only ~10% faster while allowing
 //! batches of hundreds of thousands. This ablation reproduces that
-//! tradeoff curve on C-BO-MCS — throughput and fairness per bound — via
-//! the same policy-sweep driver as `ablation_policy`.
+//! tradeoff curve on C-BO-MCS — throughput and fairness per bound — as a
+//! policy-grid [`Exhibit`] (shared with `ablation_policy`).
 
-use cohort_bench::{ablation_threads, emit_policy_rows, policy_sweep};
-use lbench::{LockKind, PolicySpec};
+use cohort_bench::{
+    ablation_threads, base_config, exhibit_main, long_table, policy_csv_row, policy_table, schema,
+    Exhibit, Measure, TableSpec,
+};
+use lbench::{AnyLockKind, LockKind, PolicySpec, Scenario};
 
 fn main() {
     let threads = ablation_threads();
-    eprintln!("ablation A: may-pass-local bound sweep on C-BO-MCS, {threads} threads");
     let policies: Vec<PolicySpec> = [1u64, 4, 16, 64, 256]
         .iter()
         .map(|&bound| PolicySpec::Count { bound })
         .chain([PolicySpec::Unbounded])
         .collect();
-    let rows = policy_sweep(&[LockKind::CBoMcs], &policies, threads);
-    emit_policy_rows(
-        &format!("Ablation A: handoff bound vs throughput/fairness (C-BO-MCS, {threads} threads)"),
-        &rows,
-        "ablation_handoff",
-    );
+    exhibit_main(Exhibit {
+        name: "ablation_handoff",
+        banner: format!("ablation A: may-pass-local bound sweep on C-BO-MCS, {threads} threads"),
+        locks: vec![AnyLockKind::Excl(LockKind::CBoMcs)],
+        grid: policies,
+        measure: Measure::Scenario(Box::new(move |&policy| {
+            let mut cfg = base_config(threads);
+            cfg.policy = Some(policy);
+            (Scenario::steady(), cfg)
+        })),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: None,
+                text: true,
+                build: policy_table(format!(
+                    "Ablation A: handoff bound vs throughput/fairness (C-BO-MCS, {threads} threads)"
+                )),
+            },
+            TableSpec {
+                csv: Some("ablation_handoff".into()),
+                text: false,
+                build: long_table(schema::POLICY_HEADER, policy_csv_row),
+            },
+        ],
+        checks: vec![],
+        epilogue: None,
+    });
 }

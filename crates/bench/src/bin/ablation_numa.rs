@@ -7,32 +7,73 @@
 //! grows monotonically from ≈1× at uniform memory.
 
 use coherence_sim::CostModel;
-use lbench::{run_lbench, LBenchConfig, LockKind};
+use cohort_bench::{
+    ablation_threads, exhibit_main, window_ns, Cell, Exhibit, Grid, Measure, Measurement, TableSpec,
+};
+use lbench::{AnyLockKind, LBenchConfig, LockKind, Scenario};
 
 fn main() {
-    let threads = cohort_bench::ablation_threads();
-    eprintln!("ablation C: remote/local ratio sweep, {threads} threads");
-    println!("\n== Ablation C: NUMA-ness vs cohort advantage ({threads} threads) ==");
-    println!(
-        "{:>8} {:>14} {:>14} {:>10}",
-        "ratio", "MCS ops/s", "C-BO-MCS ops/s", "advantage"
-    );
-    for ratio in [1u64, 2, 4, 8, 16] {
-        let cost = CostModel::t5440_light().with_remote_ratio(ratio);
-        let mk = || LBenchConfig {
-            threads,
-            window_ns: cohort_bench::window_ns(),
-            cost,
-            ..Default::default()
-        };
-        let mcs = run_lbench(LockKind::Mcs, &mk());
-        let cohort = run_lbench(LockKind::CBoMcs, &mk());
-        println!(
-            "{:>7}x {:>14.0} {:>14.0} {:>9.2}x",
-            ratio,
-            mcs.throughput,
-            cohort.throughput,
-            cohort.throughput / mcs.throughput
-        );
-    }
+    let threads = ablation_threads();
+    exhibit_main(Exhibit {
+        name: "ablation_numa",
+        banner: format!("ablation C: remote/local ratio sweep, {threads} threads"),
+        locks: vec![
+            AnyLockKind::Excl(LockKind::Mcs),
+            AnyLockKind::Excl(LockKind::CBoMcs),
+        ],
+        grid: vec![1u64, 2, 4, 8, 16],
+        measure: Measure::Scenario(Box::new(move |&ratio| {
+            let cfg = LBenchConfig {
+                threads,
+                window_ns: window_ns(),
+                cost: CostModel::t5440_light().with_remote_ratio(ratio),
+                ..Default::default()
+            };
+            (Scenario::steady(), cfg)
+        })),
+        unit: "ops/s",
+        tables: vec![TableSpec {
+            csv: None,
+            text: true,
+            build: Box::new(move |ms: &[Measurement<u64>]| {
+                // Ratio rows with the cross-column advantage appended —
+                // a bespoke layout the generic matrix cannot express.
+                let cell = |ratio: u64, kind: LockKind| {
+                    ms.iter()
+                        .find(|m| m.cell == ratio && m.result.kind == AnyLockKind::Excl(kind))
+                        .expect("cell present")
+                        .result
+                        .throughput
+                };
+                let mut ratios: Vec<u64> = Vec::new();
+                for m in ms {
+                    if !ratios.contains(&m.cell) {
+                        ratios.push(m.cell);
+                    }
+                }
+                Grid {
+                    title: format!("Ablation C: NUMA-ness vs cohort advantage ({threads} threads)"),
+                    columns: ["ratio", "MCS ops/s", "C-BO-MCS ops/s", "advantage"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    rows: ratios
+                        .iter()
+                        .map(|&ratio| {
+                            let mcs = cell(ratio, LockKind::Mcs);
+                            let cohort = cell(ratio, LockKind::CBoMcs);
+                            vec![
+                                Cell::Text(format!("{ratio}x")),
+                                Cell::num(mcs, 0),
+                                Cell::num(cohort, 0),
+                                Cell::Text(format!("{:.2}x", cohort / mcs.max(1.0))),
+                            ]
+                        })
+                        .collect(),
+                }
+            }),
+        }],
+        checks: vec![],
+        epilogue: None,
+    });
 }

@@ -22,9 +22,12 @@
 //! [`HandoffPolicy`]: cohort::HandoffPolicy
 //! [`PolicySpec::parse`]: lbench::PolicySpec::parse
 
-use cohort_bench::{ablation_threads, emit_policy_rows, knob_or_die, policy_sweep};
+use cohort_bench::{
+    ablation_threads, base_config, exhibit_main, knob_or_die, long_table, policy_csv_row,
+    policy_table, schema, Exhibit, Measure, TableSpec,
+};
 use lbench::env::env_policy_list;
-use lbench::{LockKind, PolicySpec};
+use lbench::{AnyLockKind, LockKind, PolicySpec, Scenario};
 
 fn main() {
     let threads = ablation_threads();
@@ -41,15 +44,34 @@ fn main() {
     if let Some(extra) = knob_or_die(env_policy_list("LBENCH_EXTRA_POLICIES")) {
         policies.extend(extra);
     }
-    eprintln!(
-        "ablation D: handoff-policy comparison on {} locks x {} policies, {threads} threads",
-        locks.len(),
-        policies.len()
-    );
-    let rows = policy_sweep(&locks, &policies, threads);
-    emit_policy_rows(
-        &format!("Ablation D: handoff policies ({threads} threads)"),
-        &rows,
-        "ablation_policy",
-    );
+    exhibit_main(Exhibit {
+        name: "ablation_policy",
+        banner: format!(
+            "ablation D: handoff-policy comparison on {} locks x {} policies, {threads} threads",
+            locks.len(),
+            policies.len()
+        ),
+        locks: locks.iter().copied().map(AnyLockKind::Excl).collect(),
+        grid: policies,
+        measure: Measure::Scenario(Box::new(move |&policy| {
+            let mut cfg = base_config(threads);
+            cfg.policy = Some(policy);
+            (Scenario::steady(), cfg)
+        })),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: None,
+                text: true,
+                build: policy_table(format!("Ablation D: handoff policies ({threads} threads)")),
+            },
+            TableSpec {
+                csv: Some("ablation_policy".into()),
+                text: false,
+                build: long_table(schema::POLICY_HEADER, policy_csv_row),
+            },
+        ],
+        checks: vec![],
+        epilogue: None,
+    });
 }

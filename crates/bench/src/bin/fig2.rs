@@ -4,22 +4,66 @@
 //! Paper shape: MCS flat/worst; HBO/HCLH middle; FC-MCS best prior;
 //! cohort locks on top, C-BO-MCS leading (~60% over FC-MCS at high
 //! thread counts).
+//!
+//! Companion CSVs: modelled acquisition-latency percentiles (p50/p99,
+//! virtual nanoseconds from acquisition start to clearing the handoff
+//! channel's queue-wait catch-up) per cell.
 
-use cohort_bench::{emit, sweep, Table};
-use lbench::LockKind;
+use cohort_bench::{
+    base_config, exhibit_main, metric_table, thread_grid, Exhibit, Measure, TableSpec,
+};
+use lbench::{AnyLockKind, LockKind, Scenario};
 
 fn main() {
-    eprintln!(
-        "fig2: LBench throughput sweep ({} locks)",
-        LockKind::FIG2.len()
-    );
-    let results = sweep(&LockKind::FIG2, None);
-    let table = Table::from_results(
-        "Figure 2: LBench throughput (ops/sec)",
-        &LockKind::FIG2,
-        &results,
-        0,
-        |r| r.throughput,
-    );
-    emit(&table, "fig2_throughput");
+    exhibit_main(Exhibit {
+        name: "fig2",
+        banner: format!(
+            "fig2: LBench throughput sweep ({} locks)",
+            LockKind::FIG2.len()
+        ),
+        locks: LockKind::FIG2
+            .iter()
+            .copied()
+            .map(AnyLockKind::Excl)
+            .collect(),
+        grid: thread_grid(),
+        measure: Measure::Scenario(Box::new(|&threads| {
+            (Scenario::steady(), base_config(threads))
+        })),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: Some("fig2_throughput".into()),
+                text: true,
+                build: metric_table(
+                    "Figure 2: LBench throughput (ops/sec)".into(),
+                    "threads",
+                    0,
+                    |r| r.throughput,
+                ),
+            },
+            TableSpec {
+                csv: Some("fig2_lat_p50".into()),
+                text: false,
+                build: metric_table(
+                    "Figure 2 (companion): acquisition latency p50 (modelled ns)".into(),
+                    "threads",
+                    0,
+                    |r| r.lat_p50_ns as f64,
+                ),
+            },
+            TableSpec {
+                csv: Some("fig2_lat_p99".into()),
+                text: false,
+                build: metric_table(
+                    "Figure 2 (companion): acquisition latency p99 (modelled ns)".into(),
+                    "threads",
+                    0,
+                    |r| r.lat_p99_ns as f64,
+                ),
+            },
+        ],
+        checks: vec![],
+        epilogue: None,
+    });
 }

@@ -5,18 +5,36 @@
 //! handoff); HBO good until high thread counts; HCLH high; FC-MCS degrades
 //! gradually; cohort locks lower than everything by 2× or more.
 
-use cohort_bench::{emit, sweep, Table};
-use lbench::LockKind;
+use cohort_bench::{
+    base_config, exhibit_main, metric_table, thread_grid, Exhibit, Measure, TableSpec,
+};
+use lbench::{AnyLockKind, LockKind, Scenario};
 
 fn main() {
-    eprintln!("fig3: coherence misses per critical section");
-    let results = sweep(&LockKind::FIG2, None);
-    let table = Table::from_results(
-        "Figure 3: coherence misses per critical section",
-        &LockKind::FIG2,
-        &results,
-        3,
-        |r| r.misses_per_cs,
-    );
-    emit(&table, "fig3_misses_per_cs");
+    exhibit_main(Exhibit {
+        name: "fig3",
+        banner: "fig3: coherence misses per critical section".into(),
+        locks: LockKind::FIG2
+            .iter()
+            .copied()
+            .map(AnyLockKind::Excl)
+            .collect(),
+        grid: thread_grid(),
+        measure: Measure::Scenario(Box::new(|&threads| {
+            (Scenario::steady(), base_config(threads))
+        })),
+        unit: "ops/s",
+        tables: vec![TableSpec {
+            csv: Some("fig3_misses_per_cs".into()),
+            text: true,
+            build: metric_table(
+                "Figure 3: coherence misses per critical section".into(),
+                "threads",
+                3,
+                |r| r.misses_per_cs,
+            ),
+        }],
+        checks: vec![],
+        epilogue: None,
+    });
 }

@@ -5,30 +5,34 @@
 //! cost "withers away as background noise" next to the critical and
 //! non-critical work.
 
-use cohort_bench::{base_config, emit, Table};
-use lbench::{run_lbench, LockKind};
+use cohort_bench::{base_config, exhibit_main, metric_table, Exhibit, Measure, TableSpec};
+use lbench::{AnyLockKind, LockKind, Scenario};
 
 fn main() {
-    eprintln!("fig4: low-contention throughput (1..16 threads)");
-    let mut results = Vec::new();
-    for &threads in &[1usize, 2, 4, 8, 12, 16] {
-        for &kind in &LockKind::FIG2 {
-            let cfg = base_config(threads);
-            let r = run_lbench(kind, &cfg);
-            eprintln!(
-                "  [{kind} t={threads}] {:.3}e6 ops/s ({:?} wall)",
-                r.throughput / 1e6,
-                r.wall
-            );
-            results.push(r);
-        }
-    }
-    let table = Table::from_results(
-        "Figure 4: low-contention throughput (ops/sec)",
-        &LockKind::FIG2,
-        &results,
-        0,
-        |r| r.throughput,
-    );
-    emit(&table, "fig4_low_contention");
+    exhibit_main(Exhibit {
+        name: "fig4",
+        banner: "fig4: low-contention throughput (1..16 threads)".into(),
+        locks: LockKind::FIG2
+            .iter()
+            .copied()
+            .map(AnyLockKind::Excl)
+            .collect(),
+        grid: vec![1usize, 2, 4, 8, 12, 16],
+        measure: Measure::Scenario(Box::new(|&threads| {
+            (Scenario::steady(), base_config(threads))
+        })),
+        unit: "ops/s",
+        tables: vec![TableSpec {
+            csv: Some("fig4_low_contention".into()),
+            text: true,
+            build: metric_table(
+                "Figure 4: low-contention throughput (ops/sec)".into(),
+                "threads",
+                0,
+                |r| r.throughput,
+            ),
+        }],
+        checks: vec![],
+        epilogue: None,
+    });
 }

@@ -5,18 +5,36 @@
 //! (global BO arbitration unfairness); MCS/HCLH/FC-MCS/C-TKT-TKT well
 //! under 5%; cohort locks bounded by the 64-handoff policy.
 
-use cohort_bench::{emit, sweep, Table};
-use lbench::LockKind;
+use cohort_bench::{
+    base_config, exhibit_main, metric_table, thread_grid, Exhibit, Measure, TableSpec,
+};
+use lbench::{AnyLockKind, LockKind, Scenario};
 
 fn main() {
-    eprintln!("fig5: fairness (stddev % of per-thread throughput)");
-    let results = sweep(&LockKind::FIG2, None);
-    let table = Table::from_results(
-        "Figure 5: per-thread throughput stddev (% of mean)",
-        &LockKind::FIG2,
-        &results,
-        1,
-        |r| r.stddev_pct,
-    );
-    emit(&table, "fig5_fairness");
+    exhibit_main(Exhibit {
+        name: "fig5",
+        banner: "fig5: fairness (stddev % of per-thread throughput)".into(),
+        locks: LockKind::FIG2
+            .iter()
+            .copied()
+            .map(AnyLockKind::Excl)
+            .collect(),
+        grid: thread_grid(),
+        measure: Measure::Scenario(Box::new(|&threads| {
+            (Scenario::steady(), base_config(threads))
+        })),
+        unit: "ops/s",
+        tables: vec![TableSpec {
+            csv: Some("fig5_fairness".into()),
+            text: true,
+            build: metric_table(
+                "Figure 5: per-thread throughput stddev (% of mean)".into(),
+                "threads",
+                1,
+                |r| r.stddev_pct,
+            ),
+        }],
+        checks: vec![],
+        epilogue: None,
+    });
 }

@@ -5,50 +5,60 @@
 //! Paper shape: the abortable cohort locks beat A-CLH and A-HBO by up to
 //! 6×; A-HBO additionally starves (high abort rates under load).
 
-use cohort_bench::{base_config, emit, thread_grid, Table};
-use lbench::{run_lbench, LockKind};
+use cohort_bench::{
+    base_config, exhibit_main, metric_table, thread_grid, Exhibit, Measure, TableSpec,
+};
+use lbench::{AnyLockKind, LockKind, Scenario};
+
+/// 5 ms of virtual patience: far longer than a full cohort tenure
+/// (64 handoffs ≈ 10 µs modelled) *including* the startup storm in the
+/// paced real-time frame, keeping spurious timeouts at zero. This
+/// matters most for A-C-BO-CLH, whose aborts are the expensive kind —
+/// each one conservatively forces a global release (§3.6.2), so a burst
+/// of early timeouts can cascade into tenure collapse.
+const PATIENCE_NS: u64 = 5_000_000;
 
 fn main() {
-    // 5 ms of virtual patience: far longer than a full cohort tenure
-    // (64 handoffs ≈ 10 µs modelled) *including* the startup storm in the
-    // paced real-time frame, keeping spurious timeouts at zero. This
-    // matters most for A-C-BO-CLH, whose aborts are the expensive kind —
-    // each one conservatively forces a global release (§3.6.2), so a burst
-    // of early timeouts can cascade into tenure collapse.
-    const PATIENCE_NS: u64 = 5_000_000;
-    eprintln!("fig6: abortable lock throughput (patience {PATIENCE_NS} ns)");
-    let mut results = Vec::new();
-    for &threads in &thread_grid() {
-        for &kind in &LockKind::FIG6 {
+    exhibit_main(Exhibit {
+        name: "fig6",
+        banner: format!("fig6: abortable lock throughput (patience {PATIENCE_NS} ns)"),
+        locks: LockKind::FIG6
+            .iter()
+            .copied()
+            .map(AnyLockKind::Excl)
+            .collect(),
+        grid: thread_grid(),
+        measure: Measure::Scenario(Box::new(|&threads| {
             let mut cfg = base_config(threads);
-            cfg.patience_ns = Some(PATIENCE_NS);
             // The abort charge equals the patience; keep the measurement
             // window comfortably larger so one abort cannot end a run.
             cfg.window_ns = cfg.window_ns.max(3 * PATIENCE_NS);
-            let r = run_lbench(kind, &cfg);
-            eprintln!(
-                "  [{kind} t={threads}] {:.3}e6 ops/s, {:.2}% aborts ({:?} wall)",
-                r.throughput / 1e6,
-                r.abort_rate * 100.0,
-                r.wall
-            );
-            results.push(r);
-        }
-    }
-    let table = Table::from_results(
-        "Figure 6: abortable throughput (ops/sec)",
-        &LockKind::FIG6,
-        &results,
-        0,
-        |r| r.throughput,
-    );
-    emit(&table, "fig6_abortable");
-    let aborts = Table::from_results(
-        "Figure 6 (companion): abort rate (%)",
-        &LockKind::FIG6,
-        &results,
-        2,
-        |r| r.abort_rate * 100.0,
-    );
-    emit(&aborts, "fig6_abort_rate");
+            (Scenario::steady().with_patience(PATIENCE_NS), cfg)
+        })),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: Some("fig6_abortable".into()),
+                text: true,
+                build: metric_table(
+                    "Figure 6: abortable throughput (ops/sec)".into(),
+                    "threads",
+                    0,
+                    |r| r.throughput,
+                ),
+            },
+            TableSpec {
+                csv: Some("fig6_abort_rate".into()),
+                text: true,
+                build: metric_table(
+                    "Figure 6 (companion): abort rate (%)".into(),
+                    "threads",
+                    2,
+                    |r| r.abort_rate * 100.0,
+                ),
+            },
+        ],
+        checks: vec![],
+        epilogue: None,
+    });
 }

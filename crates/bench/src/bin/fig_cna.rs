@@ -26,11 +26,12 @@
 //! every cluster has a cohort-mate), or if a CNA streak ever exceeds its
 //! configured threshold.
 
-use cohort_bench::{base_config, knob_or_die, schema, thread_grid};
+use cohort_bench::{
+    base_config, exhibit_main, knob_or_die, long_table, metric_table, schema, thread_grid, Cell,
+    Check, Exhibit, Measure, Measurement, TableSpec,
+};
 use lbench::env::env_positive_usize_list;
-use lbench::{run_lbench, LBenchConfig, LBenchResult, LockKind};
-use std::io::Write as _;
-use std::path::PathBuf;
+use lbench::{AnyLockKind, LockKind, Scenario};
 
 fn cna_clusters() -> Vec<usize> {
     knob_or_die(env_positive_usize_list("LBENCH_CNA_CLUSTERS")).unwrap_or_else(|| vec![1, 2, 4])
@@ -46,141 +47,144 @@ fn grid_for(clusters: usize) -> Vec<usize> {
     grid
 }
 
-fn write_csv(cells: &[(usize, LBenchResult)]) -> std::io::Result<PathBuf> {
-    let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
-    std::fs::create_dir_all(&dir)?;
-    let path = PathBuf::from(dir).join("fig_cna.csv");
-    let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{}", schema::FIG_CNA_HEADER)?;
-    for (clusters, r) in cells {
-        writeln!(
-            f,
-            "{},{},{},{:.0},{},{},{:.4},{},{},{:.2},{},{}",
-            r.kind.name(),
-            clusters,
-            r.threads,
-            r.throughput,
-            r.acquisitions,
-            r.migrations,
-            r.misses_per_cs,
-            r.tenures,
-            r.local_handoffs,
-            r.mean_streak,
-            r.max_streak,
-            r.policy.as_deref().unwrap_or("-"),
-        )?;
+/// One grid cell: a (cluster count, thread count) pair.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct CnaCell {
+    clusters: usize,
+    threads: usize,
+}
+
+impl std::fmt::Display for CnaCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c={} t={}", self.clusters, self.threads)
     }
-    Ok(path)
+}
+
+/// Self-check 1: the CNA fairness threshold really bounds streaks
+/// (thresholds come from the registry, the single source of truth).
+fn streak_check() -> Check<CnaCell> {
+    Box::new(|ms: &[Measurement<CnaCell>]| {
+        for m in ms {
+            let kind = match m.result.kind {
+                AnyLockKind::Excl(k) => k,
+                AnyLockKind::Rw(_) => continue,
+            };
+            let bound = match kind.cna_threshold() {
+                Some(b) => b,
+                None => continue,
+            };
+            if m.result.max_streak > bound {
+                return Err(format!(
+                    "{kind} at {}: streak {} exceeds threshold {bound}",
+                    m.cell, m.result.max_streak
+                ));
+            }
+        }
+        Ok("CNA streaks within their thresholds".to_string())
+    })
+}
+
+/// Self-check 2: compaction must not trail plain MCS once there is
+/// locality to exploit (clusters >= 2), measured where every cluster has
+/// a cohort-mate.
+fn cna_vs_mcs_check(clusters: usize) -> Check<CnaCell> {
+    Box::new(move |ms: &[Measurement<CnaCell>]| {
+        let threads = 2 * clusters;
+        let cell = |kind: LockKind| {
+            &ms.iter()
+                .find(|m| {
+                    m.cell == CnaCell { clusters, threads }
+                        && m.result.kind == AnyLockKind::Excl(kind)
+                })
+                .expect("check cell present")
+                .result
+        };
+        let mcs = cell(LockKind::Mcs);
+        let cna = cell(LockKind::Cna);
+        let msg = format!(
+            "CNA vs MCS at c={clusters} t={threads}: {:.2}x ({} vs {} migrations)",
+            cna.throughput / mcs.throughput.max(1.0),
+            cna.migrations,
+            mcs.migrations
+        );
+        if cna.throughput >= mcs.throughput {
+            Ok(msg)
+        } else {
+            Err(msg)
+        }
+    })
 }
 
 fn main() {
     let cluster_counts = cna_clusters();
-    eprintln!(
-        "fig_cna: {} locks x {:?} clusters",
-        LockKind::FIG_CNA.len(),
-        cluster_counts
-    );
-    let mut cells: Vec<(usize, LBenchResult)> = Vec::new();
-    for &clusters in &cluster_counts {
-        for &threads in &grid_for(clusters) {
-            for &kind in &LockKind::FIG_CNA {
-                let cfg = LBenchConfig {
-                    clusters,
-                    threads,
-                    ..base_config(threads)
-                };
-                let r = run_lbench(kind, &cfg);
-                eprintln!(
-                    "  [{kind} c={clusters} t={threads}] {:.3}e6 ops/s, {} migrations, \
-                     {:.1} mean streak ({:?} wall)",
-                    r.throughput / 1e6,
-                    r.migrations,
-                    r.mean_streak,
-                    r.wall
-                );
-                cells.push((clusters, r));
-            }
-        }
-    }
-
-    // Render: one block per cluster count, rows by thread count.
-    let width = LockKind::FIG_CNA
+    let grid: Vec<CnaCell> = cluster_counts
         .iter()
-        .map(|k| k.name().len())
-        .max()
-        .unwrap_or(10)
-        .max(12);
-    for &clusters in &cluster_counts {
-        println!("\n== Exhibit CNA: throughput (ops/s), {clusters} cluster(s) ==");
-        print!("{:>8} ", "threads");
-        for kind in &LockKind::FIG_CNA {
-            print!("{:>width$} ", kind.name());
-        }
-        println!();
-        for &threads in &grid_for(clusters) {
-            print!("{threads:>8} ");
-            for kind in &LockKind::FIG_CNA {
-                let r = &cells
+        .flat_map(|&clusters| {
+            grid_for(clusters)
+                .into_iter()
+                .map(move |threads| CnaCell { clusters, threads })
+        })
+        .collect();
+    exhibit_main(Exhibit {
+        name: "fig_cna",
+        banner: format!(
+            "fig_cna: {} locks x {:?} clusters",
+            LockKind::FIG_CNA.len(),
+            cluster_counts
+        ),
+        locks: LockKind::FIG_CNA
+            .iter()
+            .copied()
+            .map(AnyLockKind::Excl)
+            .collect(),
+        grid,
+        measure: Measure::Scenario(Box::new(|cell: &CnaCell| {
+            let mut cfg = base_config(cell.threads);
+            cfg.clusters = cell.clusters;
+            (Scenario::steady(), cfg)
+        })),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: None,
+                text: true,
+                build: metric_table(
+                    "Exhibit CNA: throughput (ops/s) by clusters x threads".into(),
+                    "cell",
+                    0,
+                    |r| r.throughput,
+                ),
+            },
+            TableSpec {
+                csv: Some("fig_cna".into()),
+                text: false,
+                build: long_table(schema::FIG_CNA_HEADER, |m: &Measurement<CnaCell>| {
+                    let r = &m.result;
+                    vec![
+                        Cell::text(r.kind.name()),
+                        Cell::Int(m.cell.clusters as u64),
+                        Cell::Int(r.threads as u64),
+                        Cell::num(r.throughput, 0),
+                        Cell::Int(r.acquisitions),
+                        Cell::Int(r.migrations),
+                        Cell::num(r.misses_per_cs, 4),
+                        Cell::Int(r.tenures),
+                        Cell::Int(r.local_handoffs),
+                        Cell::num(r.mean_streak, 2),
+                        Cell::Int(r.max_streak),
+                        Cell::text(r.policy.as_deref().unwrap_or("-")),
+                    ]
+                }),
+            },
+        ],
+        checks: std::iter::once(streak_check())
+            .chain(
+                cluster_counts
                     .iter()
-                    .find(|(c, r)| *c == clusters && r.kind == *kind && r.threads == threads)
-                    .expect("cell present")
-                    .1;
-                print!("{:>width$.0} ", r.throughput);
-            }
-            println!();
-        }
-    }
-    match write_csv(&cells) {
-        Ok(p) => println!("[csv written to {}]", p.display()),
-        Err(e) => eprintln!("[csv not written: {e}]"),
-    }
-
-    // Self-check 1: the CNA fairness threshold really bounds streaks
-    // (thresholds come from the registry, the single source of truth).
-    let mut failed = false;
-    for (clusters, r) in &cells {
-        let bound = match r.kind.cna_threshold() {
-            Some(b) => b,
-            None => continue,
-        };
-        if r.max_streak > bound {
-            eprintln!(
-                "check: {} at c={clusters} t={}: streak {} exceeds threshold {bound} FAILED",
-                r.kind, r.threads, r.max_streak
-            );
-            failed = true;
-        }
-    }
-
-    // Self-check 2: compaction must not trail plain MCS once there is
-    // locality to exploit (clusters >= 2), measured where every cluster
-    // has a cohort-mate.
-    for &clusters in &cluster_counts {
-        if clusters < 2 {
-            continue;
-        }
-        let threads = 2 * clusters;
-        let cell = |kind: LockKind| {
-            &cells
-                .iter()
-                .find(|(c, r)| *c == clusters && r.kind == kind && r.threads == threads)
-                .expect("check cell present")
-                .1
-        };
-        let mcs = cell(LockKind::Mcs);
-        let cna = cell(LockKind::Cna);
-        let ok = cna.throughput >= mcs.throughput;
-        println!(
-            "check: CNA vs MCS at c={clusters} t={threads}: {:.2}x ({} vs {} migrations) {}",
-            cna.throughput / mcs.throughput.max(1.0),
-            cna.migrations,
-            mcs.migrations,
-            if ok { "ok" } else { "FAILED" }
-        );
-        failed |= !ok;
-    }
-    if failed {
-        eprintln!("fig_cna: acceptance shape violated");
-        std::process::exit(1);
-    }
+                    .filter(|&&c| c >= 2)
+                    .map(|&c| cna_vs_mcs_check(c)),
+            )
+            .collect(),
+        epilogue: None,
+    });
 }

@@ -16,16 +16,23 @@
 //! Expected shape: all locks meet at 0% reads (the RW machinery costs
 //! little over the plain cohort lock); as the read ratio grows, the
 //! shared read path decouples reader throughput from the lock and the
-//! C-RW locks pull away from both exclusive baselines.
+//! C-RW locks pull away from both exclusive baselines. The CSV carries
+//! modelled acquisition-latency percentiles over the exclusive
+//! (handoff-charged) acquisitions.
 //!
 //! Environment: `LBENCH_RW_THREADS` (default: `LBENCH_ABLATION_THREADS`,
 //! i.e. 32), plus the usual `LBENCH_*` knobs and `RESULTS_DIR`.
+//!
+//! The binary **self-checks** its acceptance shape: at read-mostly
+//! ratios (90/99%) the C-RW locks must not trail the single-writer
+//! cohort baseline (it exits non-zero otherwise).
 
-use cohort_bench::{ablation_threads, base_config, knob_or_die, schema};
+use cohort_bench::{
+    ablation_threads, base_config, exhibit_main, knob_or_die, long_table, metric_table, schema,
+    Cell, Check, Exhibit, Measure, Measurement, TableSpec,
+};
 use lbench::env::env_positive_usize;
-use lbench::{run_rw_lbench, RwBenchResult, RwLockKind};
-use std::io::Write as _;
-use std::path::PathBuf;
+use lbench::{AnyLockKind, RwLockKind, Scenario};
 
 /// The swept read percentages (0 = LBench's pure-mutex shape; 99 ≈ the
 /// read-mostly regime NUMA-RW locks target).
@@ -35,114 +42,97 @@ fn rw_threads() -> usize {
     knob_or_die(env_positive_usize("LBENCH_RW_THREADS")).unwrap_or_else(ablation_threads)
 }
 
-fn write_csv(cells: &[RwBenchResult]) -> std::io::Result<PathBuf> {
-    let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
-    std::fs::create_dir_all(&dir)?;
-    let path = PathBuf::from(dir).join("fig_rw.csv");
-    let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{}", schema::FIG_RW_HEADER)?;
-    for r in cells {
-        writeln!(
-            f,
-            "{},{},{},{:.0},{},{},{},{},{},{},{:.2},{},{}",
-            r.kind.name(),
-            r.read_pct,
-            r.threads,
-            r.throughput,
-            r.read_ops,
-            r.write_ops,
-            r.exclusive_acquisitions,
-            r.migrations,
-            r.tenures,
-            r.local_handoffs,
-            r.mean_streak,
-            r.max_streak,
-            r.policy.as_deref().unwrap_or("-"),
-        )?;
-    }
-    Ok(path)
+/// The acceptance check at one read ratio: `kind` must not trail the
+/// single-writer cohort baseline.
+fn crw_check(kind: RwLockKind, read_pct: u32) -> Check<u32> {
+    Box::new(move |ms: &[Measurement<u32>]| {
+        let cell = |k: RwLockKind| {
+            ms.iter()
+                .find(|m| m.cell == read_pct && m.result.kind == AnyLockKind::Rw(k))
+                .expect("check cell present")
+        };
+        let baseline = &cell(RwLockKind::MutexCBoMcs).result;
+        let crw = &cell(kind).result;
+        let msg = format!(
+            "{kind} vs {} at {read_pct}% reads: {:.2}x",
+            RwLockKind::MutexCBoMcs,
+            crw.throughput / baseline.throughput.max(1.0)
+        );
+        if crw.throughput >= baseline.throughput {
+            Ok(msg)
+        } else {
+            Err(msg)
+        }
+    })
 }
 
 fn main() {
     let threads = rw_threads();
-    eprintln!(
-        "fig_rw: {} locks x {:?} read ratios, {threads} threads",
-        RwLockKind::FIG_RW.len(),
-        READ_RATIOS
-    );
-    let mut cells = Vec::new();
-    for &read_pct in &READ_RATIOS {
-        for &kind in &RwLockKind::FIG_RW {
-            let mut cfg = base_config(threads);
-            cfg.read_pct = read_pct;
-            let r = run_rw_lbench(kind, &cfg);
-            eprintln!(
-                "  [{kind} r={read_pct}%] {:.3}e6 ops/s ({} reads / {} writes, \
-                 {:.1} mean streak, {:?} wall)",
-                r.throughput / 1e6,
-                r.read_ops,
-                r.write_ops,
-                r.mean_streak,
-                r.wall
-            );
-            cells.push(r);
-        }
-    }
-
-    // Render: one row per read ratio, one column per lock.
-    println!("\n== Exhibit RW: throughput (ops/s) by read ratio, {threads} threads ==");
-    let width = RwLockKind::FIG_RW
-        .iter()
-        .map(|k| k.name().len())
-        .max()
-        .unwrap_or(10)
-        .max(12);
-    print!("{:>8} ", "read %");
-    for kind in &RwLockKind::FIG_RW {
-        print!("{:>width$} ", kind.name());
-    }
-    println!();
-    for &read_pct in &READ_RATIOS {
-        print!("{read_pct:>8} ");
-        for kind in &RwLockKind::FIG_RW {
-            let r = cells
-                .iter()
-                .find(|c| c.kind == *kind && c.read_pct == read_pct)
-                .expect("cell present");
-            print!("{:>width$.0} ", r.throughput);
-        }
-        println!();
-    }
-    match write_csv(&cells) {
-        Ok(p) => println!("[csv written to {}]", p.display()),
-        Err(e) => eprintln!("[csv not written: {e}]"),
-    }
-
-    // Acceptance shape: at read-mostly ratios the C-RW locks must not
-    // trail the single-writer cohort baseline.
-    let mut failed = false;
-    for &read_pct in &[90u32, 99] {
-        let baseline = cells
+    exhibit_main(Exhibit {
+        name: "fig_rw",
+        banner: format!(
+            "fig_rw: {} locks x {:?} read ratios, {threads} threads",
+            RwLockKind::FIG_RW.len(),
+            READ_RATIOS
+        ),
+        locks: RwLockKind::FIG_RW
             .iter()
-            .find(|c| c.kind == RwLockKind::MutexCBoMcs && c.read_pct == read_pct)
-            .expect("baseline cell");
-        for kind in [RwLockKind::CRwWpBoMcs, RwLockKind::CRwNeutralBoMcs] {
-            let crw = cells
-                .iter()
-                .find(|c| c.kind == kind && c.read_pct == read_pct)
-                .expect("crw cell");
-            let ok = crw.throughput >= baseline.throughput;
-            println!(
-                "check: {kind} vs {} at {read_pct}% reads: {:.2}x {}",
-                RwLockKind::MutexCBoMcs,
-                crw.throughput / baseline.throughput.max(1.0),
-                if ok { "ok" } else { "FAILED" }
-            );
-            failed |= !ok;
-        }
-    }
-    if failed {
-        eprintln!("fig_rw: C-RW trailed the single-writer baseline on a read-mostly mix");
-        std::process::exit(1);
-    }
+            .copied()
+            .map(AnyLockKind::Rw)
+            .collect(),
+        grid: READ_RATIOS.to_vec(),
+        measure: Measure::Scenario(Box::new(move |&read_pct| {
+            (
+                Scenario::steady().with_read_pct(read_pct),
+                base_config(threads),
+            )
+        })),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: None,
+                text: true,
+                build: metric_table(
+                    format!("Exhibit RW: throughput (ops/s) by read ratio, {threads} threads"),
+                    "read %",
+                    0,
+                    |r| r.throughput,
+                ),
+            },
+            TableSpec {
+                csv: Some("fig_rw".into()),
+                text: false,
+                build: long_table(schema::FIG_RW_HEADER, |m| {
+                    let r = &m.result;
+                    vec![
+                        Cell::text(r.kind.name()),
+                        Cell::Int(r.read_pct as u64),
+                        Cell::Int(r.threads as u64),
+                        Cell::num(r.throughput, 0),
+                        Cell::Int(r.read_ops),
+                        Cell::Int(r.write_ops),
+                        Cell::Int(r.acquisitions),
+                        Cell::Int(r.migrations),
+                        Cell::Int(r.tenures),
+                        Cell::Int(r.local_handoffs),
+                        Cell::num(r.mean_streak, 2),
+                        Cell::Int(r.max_streak),
+                        Cell::Int(r.lat_p50_ns),
+                        Cell::Int(r.lat_p99_ns),
+                        Cell::text(r.policy.as_deref().unwrap_or("-")),
+                    ]
+                }),
+            },
+        ],
+        checks: [90u32, 99]
+            .iter()
+            .flat_map(|&pct| {
+                [
+                    crw_check(RwLockKind::CRwWpBoMcs, pct),
+                    crw_check(RwLockKind::CRwNeutralBoMcs, pct),
+                ]
+            })
+            .collect(),
+        epilogue: None,
+    });
 }

@@ -1,0 +1,249 @@
+//! Exhibit Scenarios: one engine, many load shapes.
+//!
+//! The paper's grid (§4) is steady-state only; this exhibit exercises
+//! the scenario engine's other shapes over the three lock families —
+//! NUMA-oblivious (MCS, TATAS), cohort (C-BO-MCS, plus the C-RW-WP
+//! reader-writer composition), and compaction (CNA):
+//!
+//! * `steady` — the paper's shape, at the contended thread count;
+//! * `uncontended` — a single thread (*Fissile Locks* territory: where
+//!   NUMA-aware machinery historically loses to TATAS on pure overhead);
+//! * `bursty` — on/off arrival (*Avoiding Scalability Collapse…*'s
+//!   regime: queues form in storms at each burst front);
+//! * `phased` — a repeating 90%/10% read-ratio schedule (reads are
+//!   shared on the C-RW column, exclusive elsewhere);
+//! * `light` — thread-asymmetric idling thins the offered load to a few
+//!   hot threads (the light-contention fast-path regime).
+//!
+//! Environment (strict `lbench::env` parsing, like every knob):
+//!
+//! * `LBENCH_SCENARIO` — comma-separated subset of the scenario names
+//!   above (default: all; unknown names abort, listing the accepted
+//!   ones);
+//! * `LBENCH_BURST_ON_US` / `LBENCH_BURST_OFF_US` — burst window lengths
+//!   in virtual microseconds (default 200/200; zero aborts);
+//! * `LBENCH_SCENARIO_THREADS` — contended-cell thread count (default:
+//!   `LBENCH_ABLATION_THREADS`, raised to `2 × clusters` so every
+//!   cluster has a cohort-mate);
+//! * plus the usual `LBENCH_*` knobs and `RESULTS_DIR`.
+//!
+//! The binary **self-checks** two acceptance shapes (exit non-zero on
+//! failure): the cohort lock keeps its edge over MCS under *bursty* load
+//! whenever there are ≥ 2 clusters, and the `uncontended` cell must not
+//! regress C-BO-MCS below 75% of MCS — the paper's low-contention claim
+//! (Figure 4) that the two-level overhead "withers away" next to the
+//! critical + non-critical work.
+
+use cohort_bench::{
+    ablation_threads, base_config, clusters, exhibit_main, knob_or_die, long_table, metric_table,
+    schema, Cell, Check, Exhibit, Measure, Measurement, TableSpec,
+};
+use lbench::env::{env_choice_list, env_positive_u64, env_positive_usize};
+use lbench::{AnyLockKind, LockKind, Phase, RwLockKind, Scenario};
+
+/// The scenario names, in presentation order (also the `LBENCH_SCENARIO`
+/// vocabulary).
+const SCENARIOS: &[&str] = &["steady", "uncontended", "bursty", "phased", "light"];
+
+/// One grid cell: a named scenario at a thread count.
+#[derive(Clone)]
+struct ScenCell {
+    name: &'static str,
+    threads: usize,
+    scenario: Scenario,
+}
+
+impl std::fmt::Display for ScenCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// Contended-cell thread count: the ablation default raised to
+/// `2 × clusters`, so every cluster has a cohort-mate and batching can
+/// actually form.
+fn scenario_threads() -> usize {
+    knob_or_die(env_positive_usize("LBENCH_SCENARIO_THREADS"))
+        .unwrap_or_else(ablation_threads)
+        .max(2 * clusters())
+}
+
+fn burst_us(knob: &str, default_us: u64) -> u64 {
+    knob_or_die(env_positive_u64(knob)).unwrap_or(default_us)
+}
+
+fn cells() -> Vec<ScenCell> {
+    let t = scenario_threads();
+    let on_ns = burst_us("LBENCH_BURST_ON_US", 200) * 1_000;
+    let off_ns = burst_us("LBENCH_BURST_OFF_US", 200) * 1_000;
+    let wanted = knob_or_die(env_choice_list("LBENCH_SCENARIO", SCENARIOS));
+    SCENARIOS
+        .iter()
+        .filter(|name| match &wanted {
+            Some(list) => list.contains(name),
+            None => true,
+        })
+        .map(|&name| {
+            let (threads, scenario) = match name {
+                "steady" => (t, Scenario::steady()),
+                "uncontended" => (1, Scenario::steady()),
+                "bursty" => (t, Scenario::bursty(on_ns, off_ns)),
+                "phased" => (
+                    t,
+                    Scenario::phased(vec![
+                        Phase {
+                            dur_ns: 1_000_000,
+                            read_pct: 90,
+                        },
+                        Phase {
+                            dur_ns: 1_000_000,
+                            read_pct: 10,
+                        },
+                    ]),
+                ),
+                "light" => (t, Scenario::steady().with_asymmetry(8.0)),
+                _ => unreachable!("name comes from SCENARIOS"),
+            };
+            ScenCell {
+                name,
+                threads,
+                scenario,
+            }
+        })
+        .collect()
+}
+
+/// Finds one measured cell (`None` when `LBENCH_SCENARIO` filtered the
+/// scenario out — checks skip rather than fail).
+fn find<'m>(
+    ms: &'m [Measurement<ScenCell>],
+    name: &str,
+    kind: LockKind,
+) -> Option<&'m Measurement<ScenCell>> {
+    ms.iter()
+        .find(|m| m.cell.name == name && m.result.kind == AnyLockKind::Excl(kind))
+}
+
+/// Self-check 1: cohorting keeps its edge under bursty arrival whenever
+/// there is locality to exploit.
+fn bursty_edge_check() -> Check<ScenCell> {
+    Box::new(|ms: &[Measurement<ScenCell>]| {
+        if clusters() < 2 {
+            return Ok("bursty cohort edge skipped (1 cluster: no locality)".into());
+        }
+        let (cohort, mcs) = match (
+            find(ms, "bursty", LockKind::CBoMcs),
+            find(ms, "bursty", LockKind::Mcs),
+        ) {
+            (Some(c), Some(m)) => (&c.result, &m.result),
+            _ => return Ok("bursty cohort edge skipped (scenario filtered out)".into()),
+        };
+        let msg = format!(
+            "C-BO-MCS vs MCS under bursty load ({} clusters): {:.2}x ({} vs {} migrations)",
+            clusters(),
+            cohort.throughput / mcs.throughput.max(1.0),
+            cohort.migrations,
+            mcs.migrations
+        );
+        if cohort.throughput >= mcs.throughput {
+            Ok(msg)
+        } else {
+            Err(msg)
+        }
+    })
+}
+
+/// Self-check 2: the uncontended single-thread cell must not charge more
+/// than the paper's C-BO-MCS overhead (Figure 4's low-contention claim).
+fn uncontended_overhead_check() -> Check<ScenCell> {
+    /// Allowed single-thread regression of C-BO-MCS against MCS.
+    const MAX_REGRESSION: f64 = 0.25;
+    Box::new(|ms: &[Measurement<ScenCell>]| {
+        let (cohort, mcs) = match (
+            find(ms, "uncontended", LockKind::CBoMcs),
+            find(ms, "uncontended", LockKind::Mcs),
+        ) {
+            (Some(c), Some(m)) => (&c.result, &m.result),
+            _ => return Ok("uncontended overhead skipped (scenario filtered out)".into()),
+        };
+        let ratio = cohort.throughput / mcs.throughput.max(1.0);
+        let msg = format!(
+            "C-BO-MCS single-thread overhead vs MCS: {ratio:.2}x (floor {:.2}x)",
+            1.0 - MAX_REGRESSION
+        );
+        if ratio >= 1.0 - MAX_REGRESSION {
+            Ok(msg)
+        } else {
+            Err(msg)
+        }
+    })
+}
+
+fn main() {
+    let grid = cells();
+    exhibit_main(Exhibit {
+        name: "fig_scenarios",
+        banner: format!(
+            "fig_scenarios: {} scenarios x 5 locks, {} threads contended, {} clusters",
+            grid.len(),
+            scenario_threads(),
+            clusters()
+        ),
+        locks: vec![
+            AnyLockKind::Excl(LockKind::Mcs),
+            AnyLockKind::Excl(LockKind::Tatas),
+            AnyLockKind::Excl(LockKind::CBoMcs),
+            AnyLockKind::Excl(LockKind::Cna),
+            AnyLockKind::Rw(RwLockKind::CRwWpBoMcs),
+        ],
+        grid,
+        measure: Measure::Scenario(Box::new(|cell: &ScenCell| {
+            (cell.scenario.clone(), base_config(cell.threads))
+        })),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: None,
+                text: true,
+                build: metric_table(
+                    "Exhibit Scenarios: throughput (ops/s) by load shape".into(),
+                    "scenario",
+                    0,
+                    |r| r.throughput,
+                ),
+            },
+            TableSpec {
+                csv: Some("fig_scenarios".into()),
+                text: false,
+                build: long_table(schema::FIG_SCENARIOS_HEADER, |m: &Measurement<ScenCell>| {
+                    let r = &m.result;
+                    vec![
+                        Cell::text(m.cell.name),
+                        Cell::text(m.cell.scenario.shape.label()),
+                        Cell::text(r.kind.name()),
+                        Cell::Int(r.threads as u64),
+                        Cell::Int(clusters() as u64),
+                        Cell::Int(r.read_pct as u64),
+                        Cell::num(r.throughput, 0),
+                        Cell::Int(r.total_ops),
+                        Cell::Int(r.read_ops),
+                        Cell::Int(r.write_ops),
+                        Cell::Int(r.acquisitions),
+                        Cell::Int(r.migrations),
+                        Cell::num(r.misses_per_cs, 4),
+                        Cell::num(r.mean_batch, 2),
+                        Cell::Int(r.tenures),
+                        Cell::Int(r.local_handoffs),
+                        Cell::num(r.mean_streak, 2),
+                        Cell::Int(r.max_streak),
+                        Cell::Int(r.lat_p50_ns),
+                        Cell::Int(r.lat_p99_ns),
+                        Cell::text(r.policy.as_deref().unwrap_or("-")),
+                    ]
+                }),
+            },
+        ],
+        checks: vec![bursty_edge_check(), uncontended_overhead_check()],
+        epilogue: None,
+    });
+}

@@ -5,12 +5,32 @@
 //! Paper shape: read-heavy — every decent lock plateaus around the same
 //! Amdahl ceiling; write-heavy — NUMA-aware locks out-scale the oblivious
 //! ones by ≥20%, with untuned HBO and C-BO-BO lagging everywhere.
+//!
+//! One [`Exhibit`] per mix, each with a custom measurement driver over
+//! the kvstore workload (the scenario engine models LBench-style loads;
+//! the kv store drives its own virtual-time loop).
 
-use cohort_bench::{clusters, emit, knob_or_die, thread_grid, window_ns, Table};
+use cohort_bench::{
+    clusters, knob_or_die, metric_table, run_exhibit, thread_grid, window_ns, Exhibit, Measure,
+    TableSpec,
+};
 use cohort_kvstore::workload::{run_kv, KvWorkload};
 use lbench::env::{env_bool, env_policy};
-use lbench::LockKind;
+use lbench::{AnyLockKind, LockKind, PolicySpec, ScenarioResult};
 use std::time::Duration;
+
+fn workload(get_pct: u32, threads: usize, policy: Option<PolicySpec>, rw: bool) -> KvWorkload {
+    KvWorkload {
+        get_pct,
+        threads,
+        clusters: clusters(),
+        window_ns: window_ns(),
+        max_wall: Duration::from_secs(30),
+        policy,
+        rw,
+        ..Default::default()
+    }
+}
 
 fn main() {
     let grid: Vec<usize> = thread_grid().into_iter().filter(|&t| t <= 128).collect();
@@ -36,74 +56,47 @@ fn main() {
         (50, "50/50"),
         (10, "10% gets / 90% sets"),
     ] {
-        eprintln!("table1: mix {label}");
         // Baseline: pthread at 1 thread.
-        let base = run_kv(
-            LockKind::Pthread,
-            &KvWorkload {
-                get_pct,
-                threads: 1,
-                clusters: clusters(),
-                window_ns: window_ns(),
-                max_wall: Duration::from_secs(30),
-                rw,
-                ..Default::default()
-            },
-        );
+        let base = run_kv(LockKind::Pthread, &workload(get_pct, 1, policy, rw));
         let base_thr = base.throughput.max(1.0);
-        let mut rows = Vec::new();
-        for &threads in &grid {
-            for &kind in &LockKind::TABLES {
-                let r = run_kv(
-                    kind,
-                    &KvWorkload {
-                        get_pct,
-                        threads,
-                        clusters: clusters(),
-                        window_ns: window_ns(),
-                        max_wall: Duration::from_secs(30),
-                        policy,
-                        rw,
-                        ..Default::default()
-                    },
-                );
-                eprintln!(
-                    "  [{kind} t={threads}] {:.2}x ({:.0} ops/s, {:?})",
-                    r.throughput / base_thr,
-                    r.throughput,
-                    r.wall
-                );
-                rows.push((threads, kind, r.throughput / base_thr));
-            }
-        }
         let policy_note = policy
             .map(|p| format!(", cohort policy {p}"))
             .unwrap_or_default();
         let rw_note = if rw { ", RW cache lock" } else { "" };
-        let mut table = Table {
-            title: format!(
-                "Table 1 ({label}{policy_note}{rw_note}): speedup over 1-thread pthread"
-            ),
-            columns: LockKind::TABLES
-                .iter()
-                .map(|k| k.name().to_string())
-                .collect(),
-            rows: Vec::new(),
-            precision: 2,
-        };
-        for (threads, kind, v) in rows {
-            let col = LockKind::TABLES.iter().position(|&k| k == kind).unwrap();
-            match table.rows.iter_mut().find(|(t, _)| *t == threads) {
-                Some((_, vals)) => vals[col] = v,
-                None => {
-                    let mut vals = vec![f64::NAN; LockKind::TABLES.len()];
-                    vals[col] = v;
-                    table.rows.push((threads, vals));
-                }
-            }
-        }
-        table.rows.sort_by_key(|(t, _)| *t);
         let suffix = if rw { "_rw" } else { "" };
-        emit(&table, &format!("table1_get{get_pct}{suffix}"));
+        let ok = run_exhibit(&Exhibit {
+            name: "table1",
+            banner: format!("table1: mix {label}"),
+            locks: LockKind::TABLES
+                .iter()
+                .copied()
+                .map(AnyLockKind::Excl)
+                .collect(),
+            grid: grid.clone(),
+            measure: Measure::Custom(Box::new(move |kind, &threads| {
+                let k = match kind {
+                    AnyLockKind::Excl(k) => k,
+                    AnyLockKind::Rw(k) => panic!("table1 sweeps exclusive kinds, got {k}"),
+                };
+                let r = run_kv(k, &workload(get_pct, threads, policy, rw));
+                ScenarioResult::external(kind, threads, r.throughput, r.wall)
+            })),
+            unit: "ops/s",
+            tables: vec![TableSpec {
+                csv: Some(format!("table1_get{get_pct}{suffix}")),
+                text: true,
+                build: metric_table(
+                    format!(
+                        "Table 1 ({label}{policy_note}{rw_note}): speedup over 1-thread pthread"
+                    ),
+                    "threads",
+                    2,
+                    move |r| r.throughput / base_thr,
+                ),
+            }],
+            checks: vec![],
+            epilogue: None,
+        });
+        assert!(ok, "table1 declares no checks");
     }
 }

@@ -4,29 +4,34 @@
 //! Paper shape: non-cohort locks cap out around 2× the single-thread
 //! rate; cohort locks reach 5–6×, because lock batching keeps the splay
 //! tree's hot nodes and the recycled blocks inside one cluster.
+//!
+//! An [`Exhibit`] with a custom measurement driver over the allocator
+//! workload; the "throughput" channel carries pairs per millisecond.
 
 use cohort_alloc::workload::{run_mmicro, MmicroWorkload};
-use cohort_bench::{clusters, emit, thread_grid, window_ns, Table};
-use lbench::LockKind;
+use cohort_bench::{
+    clusters, exhibit_main, metric_table, thread_grid, window_ns, Exhibit, Measure, TableSpec,
+};
+use lbench::{AnyLockKind, LockKind, ScenarioResult};
 use std::time::Duration;
 
 fn main() {
-    eprintln!("table2: mmicro malloc-free pairs per millisecond");
-    let grid = thread_grid();
-    let mut table = Table {
-        title: "Table 2: mmicro throughput (malloc-free pairs per ms)".into(),
-        columns: LockKind::TABLES
+    exhibit_main(Exhibit {
+        name: "table2",
+        banner: "table2: mmicro malloc-free pairs per millisecond".into(),
+        locks: LockKind::TABLES
             .iter()
-            .map(|k| k.name().to_string())
+            .copied()
+            .map(AnyLockKind::Excl)
             .collect(),
-        rows: Vec::new(),
-        precision: 0,
-    };
-    for &threads in &grid {
-        let mut vals = vec![f64::NAN; LockKind::TABLES.len()];
-        for (col, &kind) in LockKind::TABLES.iter().enumerate() {
+        grid: thread_grid(),
+        measure: Measure::Custom(Box::new(|kind, &threads| {
+            let k = match kind {
+                AnyLockKind::Excl(k) => k,
+                AnyLockKind::Rw(k) => panic!("table2 sweeps exclusive kinds, got {k}"),
+            };
             let r = run_mmicro(
-                kind,
+                k,
                 &MmicroWorkload {
                     threads,
                     clusters: clusters(),
@@ -35,13 +40,20 @@ fn main() {
                     ..Default::default()
                 },
             );
-            eprintln!(
-                "  [{kind} t={threads}] {:.0} pairs/ms ({:?})",
-                r.pairs_per_ms, r.wall
-            );
-            vals[col] = r.pairs_per_ms;
-        }
-        table.rows.push((threads, vals));
-    }
-    emit(&table, "table2_mmicro");
+            ScenarioResult::external(kind, threads, r.pairs_per_ms, r.wall)
+        })),
+        unit: "pairs/ms",
+        tables: vec![TableSpec {
+            csv: Some("table2_mmicro".into()),
+            text: true,
+            build: metric_table(
+                "Table 2: mmicro throughput (malloc-free pairs per ms)".into(),
+                "threads",
+                0,
+                |r| r.throughput,
+            ),
+        }],
+        checks: vec![],
+        epilogue: None,
+    });
 }

@@ -1,0 +1,326 @@
+//! Declarative exhibits: **one** sweep/render/CSV/self-check driver for
+//! every bench binary.
+//!
+//! Each binary used to hand-roll its own sweep loop, progress lines,
+//! table rendering, CSV writer, and acceptance checks. An [`Exhibit`]
+//! turns all of that into a declaration — locks × grid × scenario (or a
+//! custom workload driver) × tables × checks — consumed by the single
+//! [`run_exhibit`] driver:
+//!
+//! 1. every grid cell × lock is measured (through
+//!    [`lbench::run_scenario`], or the exhibit's custom driver for the
+//!    kvstore/allocator workloads), with a standardized progress line;
+//! 2. every [`TableSpec`] builds a [`Grid`] from the measurements and is
+//!    emitted through the shared text/CSV path;
+//! 3. every check runs against the full measurement set; a failure makes
+//!    [`exhibit_main`] exit non-zero (the CI acceptance hook).
+//!
+//! Helper builders cover the recurring table shapes: [`metric_table`]
+//! (grid-cell rows × lock columns of one metric), [`long_table`]
+//! (one CSV row per measurement under a pinned [`crate::schema`]
+//! header), and [`policy_table`] (the policy-ablation text layout).
+
+use crate::grid::{emit, Cell, Grid};
+use lbench::{run_scenario, AnyLockKind, LBenchConfig, Scenario, ScenarioResult};
+use std::fmt::Display;
+
+/// One measured cell of an exhibit: the grid cell it came from plus the
+/// engine's result (which carries the lock kind).
+pub struct Measurement<C> {
+    /// The grid cell (thread count, read ratio, policy, scenario, …).
+    pub cell: C,
+    /// The measurement.
+    pub result: ScenarioResult,
+}
+
+/// Builds the [`Scenario`] + [`LBenchConfig`] for one grid cell.
+pub type ScenarioBuilder<C> = Box<dyn Fn(&C) -> (Scenario, LBenchConfig)>;
+
+/// A custom measurement driver over one (lock, cell) pair.
+pub type CustomMeasure<C> = Box<dyn Fn(AnyLockKind, &C) -> ScenarioResult>;
+
+/// Builds a [`Grid`] from the full measurement set.
+pub type GridBuilder<C> = Box<dyn Fn(&[Measurement<C>]) -> Grid>;
+
+/// A free-form hook over the full measurement set.
+pub type Epilogue<C> = Box<dyn Fn(&[Measurement<C>])>;
+
+/// How an exhibit measures one (lock, cell) pair.
+pub enum Measure<C> {
+    /// The default: build a [`Scenario`] + [`LBenchConfig`] from the
+    /// grid cell and run the scenario engine.
+    Scenario(ScenarioBuilder<C>),
+    /// A custom workload driver (kvstore, allocator) returning a result
+    /// shell (see [`ScenarioResult::external`]).
+    Custom(CustomMeasure<C>),
+}
+
+/// One table of an exhibit: how to build the [`Grid`] and where it goes.
+pub struct TableSpec<C> {
+    /// `Some(name)` writes `RESULTS_DIR/<name>.csv`.
+    pub csv: Option<String>,
+    /// Whether the rendered text table is printed to stdout.
+    pub text: bool,
+    /// Builds the grid from the full measurement set.
+    pub build: GridBuilder<C>,
+}
+
+/// A self-check over the full measurement set: `Ok(msg)` prints
+/// `check: <msg> ok`, `Err(msg)` prints `check: <msg> FAILED` and fails
+/// the exhibit.
+pub type Check<C> = Box<dyn Fn(&[Measurement<C>]) -> Result<String, String>>;
+
+/// A declarative exhibit (see the module docs).
+pub struct Exhibit<C> {
+    /// Binary name, used in the failure banner.
+    pub name: &'static str,
+    /// Progress banner printed to stderr before the sweep.
+    pub banner: String,
+    /// Column axis: the locks under test.
+    pub locks: Vec<AnyLockKind>,
+    /// Row axis: the swept cells, in presentation order.
+    pub grid: Vec<C>,
+    /// The measurement driver.
+    pub measure: Measure<C>,
+    /// Unit of the result's throughput channel for the progress lines —
+    /// `"ops/s"` for the scenario engine, `"pairs/ms"` for the allocator
+    /// workload, etc.
+    pub unit: &'static str,
+    /// Tables to emit after the sweep.
+    pub tables: Vec<TableSpec<C>>,
+    /// Acceptance self-checks.
+    pub checks: Vec<Check<C>>,
+    /// Free-form epilogue over the measurements (histograms etc.).
+    pub epilogue: Option<Epilogue<C>>,
+}
+
+/// Magnitude-aware mantissa for progress lines (`2563000` → `"2.563e6"`,
+/// `1234` → `"1.2e3"`, `87` → `"87"`); the caller appends the unit.
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.3}e6", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}e3", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Runs an exhibit: sweep, tables, epilogue, checks. Returns whether all
+/// checks passed.
+pub fn run_exhibit<C: Clone + Display>(ex: &Exhibit<C>) -> bool {
+    eprintln!("{}", ex.banner);
+    let mut ms: Vec<Measurement<C>> = Vec::with_capacity(ex.grid.len() * ex.locks.len());
+    for cell in &ex.grid {
+        for &kind in &ex.locks {
+            let result = match &ex.measure {
+                Measure::Scenario(build) => {
+                    let (scenario, cfg) = build(cell);
+                    run_scenario(kind, &scenario, &cfg)
+                }
+                Measure::Custom(run) => run(kind, cell),
+            };
+            eprintln!(
+                "  [{kind} {cell}] {} {} ({:?} wall)",
+                fmt_rate(result.throughput),
+                ex.unit,
+                result.wall
+            );
+            ms.push(Measurement {
+                cell: cell.clone(),
+                result,
+            });
+        }
+    }
+    for spec in &ex.tables {
+        let grid = (spec.build)(&ms);
+        emit(&grid, spec.csv.as_deref(), spec.text);
+    }
+    if let Some(epilogue) = &ex.epilogue {
+        epilogue(&ms);
+    }
+    let mut ok = true;
+    for check in &ex.checks {
+        match check(&ms) {
+            Ok(msg) => println!("check: {msg} ok"),
+            Err(msg) => {
+                println!("check: {msg} FAILED");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Runs an exhibit and exits the process: 0 when every check passed,
+/// 1 otherwise — the entry point of every exhibit binary.
+pub fn exhibit_main<C: Clone + Display>(ex: Exhibit<C>) -> ! {
+    if run_exhibit(&ex) {
+        std::process::exit(0)
+    }
+    eprintln!("{}: acceptance shape violated", ex.name);
+    std::process::exit(1)
+}
+
+/// Table builder: one row per grid cell (by `Display` label, insertion
+/// order), one column per lock, `metric` in the cells.
+pub fn metric_table<C, M>(
+    title: String,
+    row_label: &'static str,
+    precision: usize,
+    metric: M,
+) -> GridBuilder<C>
+where
+    C: Display,
+    M: Fn(&ScenarioResult) -> f64 + 'static,
+{
+    Box::new(move |ms| {
+        let mut kinds: Vec<AnyLockKind> = Vec::new();
+        let mut row_keys: Vec<String> = Vec::new();
+        for m in ms {
+            if !kinds.contains(&m.result.kind) {
+                kinds.push(m.result.kind);
+            }
+            let key = m.cell.to_string();
+            if !row_keys.contains(&key) {
+                row_keys.push(key);
+            }
+        }
+        let rows = row_keys
+            .iter()
+            .map(|key| {
+                let mut cells = vec![Cell::Text(key.clone())];
+                for &kind in &kinds {
+                    cells.push(
+                        ms.iter()
+                            .find(|m| m.result.kind == kind && &m.cell.to_string() == key)
+                            .map(|m| Cell::num(metric(&m.result), precision))
+                            .unwrap_or(Cell::Missing),
+                    );
+                }
+                cells
+            })
+            .collect();
+        Grid {
+            title: title.clone(),
+            columns: std::iter::once(row_label.to_string())
+                .chain(kinds.iter().map(|k| k.name().to_string()))
+                .collect(),
+            rows,
+        }
+    })
+}
+
+/// Table builder for long-form CSVs: columns from a pinned
+/// [`crate::schema`] header, one row per measurement.
+pub fn long_table<C, F>(header: &'static str, row: F) -> GridBuilder<C>
+where
+    F: Fn(&Measurement<C>) -> Vec<Cell> + 'static,
+{
+    Box::new(move |ms| Grid {
+        title: String::new(),
+        columns: header.split(',').map(str::to_string).collect(),
+        rows: ms.iter().map(&row).collect(),
+    })
+}
+
+/// Table builder for the policy ablations (grid cells are
+/// [`lbench::PolicySpec`]s, rendered in the `policy` column): the
+/// long-form text layout the `ablation_handoff`/`ablation_policy`
+/// binaries print.
+pub fn policy_table<C: Display>(title: String) -> GridBuilder<C> {
+    Box::new(move |ms| Grid {
+        title: title.clone(),
+        columns: [
+            "lock",
+            "policy",
+            "ops/sec",
+            "stddev %",
+            "mean batch",
+            "misses/CS",
+            "mean streak",
+            "migr/tenure",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: ms
+            .iter()
+            .map(|m| {
+                let r = &m.result;
+                vec![
+                    Cell::text(r.kind.name()),
+                    Cell::Text(m.cell.to_string()),
+                    Cell::num(r.throughput, 0),
+                    Cell::num(r.stddev_pct, 1),
+                    Cell::num(r.mean_batch, 1),
+                    Cell::num(r.misses_per_cs, 3),
+                    Cell::num(r.mean_streak, 1),
+                    Cell::num(r.migrations_per_tenure, 2),
+                ]
+            })
+            .collect(),
+    })
+}
+
+/// The pinned-schema CSV rows of the policy ablations
+/// ([`crate::schema::POLICY_HEADER`]).
+pub fn policy_csv_row<C: Display>(m: &Measurement<C>) -> Vec<Cell> {
+    let r = &m.result;
+    vec![
+        Cell::text(r.kind.name()),
+        Cell::Text(m.cell.to_string()),
+        Cell::Int(r.threads as u64),
+        Cell::num(r.throughput, 0),
+        Cell::num(r.stddev_pct, 2),
+        Cell::num(r.mean_batch, 2),
+        Cell::num(r.misses_per_cs, 4),
+        Cell::Int(r.tenures),
+        Cell::Int(r.local_handoffs),
+        Cell::num(r.mean_streak, 2),
+        Cell::Int(r.max_streak),
+        Cell::num(r.migrations_per_tenure, 4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbench::LockKind;
+    use std::time::Duration;
+
+    fn fake(kind: AnyLockKind, threads: usize, thr: f64) -> Measurement<usize> {
+        Measurement {
+            cell: threads,
+            result: ScenarioResult::external(kind, threads, thr, Duration::ZERO),
+        }
+    }
+
+    #[test]
+    fn metric_table_lays_out_rows_and_columns() {
+        let ms = vec![
+            fake(AnyLockKind::Excl(LockKind::Mcs), 1, 10.0),
+            fake(AnyLockKind::Excl(LockKind::CBoMcs), 1, 20.0),
+            fake(AnyLockKind::Excl(LockKind::Mcs), 4, 30.0),
+            // C-BO-MCS missing at t=4: renders as a dash.
+        ];
+        let build = metric_table::<usize, _>("demo".into(), "threads", 1, |r| r.throughput);
+        let g = build(&ms);
+        assert_eq!(g.columns, vec!["threads", "MCS", "C-BO-MCS"]);
+        assert_eq!(g.rows.len(), 2);
+        assert_eq!(g.rows[0][1], Cell::num(10.0, 1));
+        assert_eq!(g.rows[1][2], Cell::Missing);
+        assert!(g.render().contains("demo"));
+    }
+
+    #[test]
+    fn long_table_takes_schema_headers_verbatim() {
+        let ms = vec![fake(AnyLockKind::Excl(LockKind::Mcs), 2, 5.0)];
+        let build = long_table::<usize, _>("a,b", |m| {
+            vec![Cell::Int(m.cell as u64), Cell::num(m.result.throughput, 0)]
+        });
+        let g = build(&ms);
+        assert_eq!(g.columns, vec!["a", "b"]);
+        assert_eq!(g.rows, vec![vec![Cell::Int(2), Cell::num(5.0, 0)]]);
+    }
+}

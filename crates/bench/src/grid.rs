@@ -1,0 +1,188 @@
+//! The ONE table path behind every exhibit: a [`Grid`] of typed
+//! [`Cell`]s renders as aligned plain text and writes as CSV.
+//!
+//! Before the scenario refactor this crate carried three parallel
+//! render/CSV/emit stacks (`Table` for the thread×lock matrices,
+//! `PolicyRow` for the policy sweeps, and hand-rolled writers in
+//! `fig_rw`/`fig_cna`); they only differed in row shape, which `Cell`
+//! now expresses directly.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One table cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// A float rendered with a fixed precision (`NaN` renders as a dash
+    /// and an empty CSV field, like [`Cell::Missing`]).
+    Num {
+        /// The value.
+        v: f64,
+        /// Digits after the decimal point.
+        prec: usize,
+    },
+    /// An integer (counters, thread counts).
+    Int(u64),
+    /// A text cell (lock names, policy labels, row keys).
+    Text(String),
+    /// An absent measurement: a dash in text, an empty CSV field.
+    Missing,
+}
+
+impl Cell {
+    /// Shorthand for [`Cell::Num`].
+    pub fn num(v: f64, prec: usize) -> Cell {
+        Cell::Num { v, prec }
+    }
+
+    /// Shorthand for a [`Cell::Text`] from anything stringy.
+    pub fn text(s: impl Into<String>) -> Cell {
+        Cell::Text(s.into())
+    }
+
+    /// The aligned-text rendering.
+    fn rendered(&self) -> String {
+        match self {
+            Cell::Num { v, .. } if v.is_nan() => "-".to_string(),
+            Cell::Num { v, prec } => format!("{v:.prec$}"),
+            Cell::Int(n) => n.to_string(),
+            Cell::Text(s) => s.clone(),
+            Cell::Missing => "-".to_string(),
+        }
+    }
+
+    /// The CSV rendering (absent values are empty fields).
+    fn csv(&self) -> String {
+        match self {
+            Cell::Num { v, .. } if v.is_nan() => String::new(),
+            Cell::Missing => String::new(),
+            other => other.rendered(),
+        }
+    }
+}
+
+/// A rendered exhibit table: a title, column headers, and typed rows.
+pub struct Grid {
+    /// Exhibit title, printed above the text rendering (a CSV carries
+    /// only the header row).
+    pub title: String,
+    /// Column headers — for pinned-schema CSVs, exactly the
+    /// comma-separated fields of the [`crate::schema`] header constant.
+    pub columns: Vec<String>,
+    /// Rows; each must be `columns.len()` cells wide.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Grid {
+    /// Renders as aligned plain text (first column left-padded to ≥8,
+    /// value columns to ≥10, as the legacy tables did).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.len().max(if i == 0 { 8 } else { 10 }))
+            .collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.rendered();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut s = String::new();
+        s.push_str(&format!("\n== {} ==\n", self.title));
+        for (i, c) in self.columns.iter().enumerate() {
+            s.push_str(&format!("{c:>width$} ", width = widths[i]));
+        }
+        s.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let width = widths.get(i).copied().unwrap_or(10);
+                s.push_str(&format!("{cell:>width$} "));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes the grid as `RESULTS_DIR/<name>.csv` (header + raw cells).
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        self.write_csv_in(&PathBuf::from(dir), name)
+    }
+
+    /// Writes the grid as `<dir>/<name>.csv`, creating `dir` as needed.
+    pub fn write_csv_in(&self, dir: &std::path::Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            let fields: Vec<String> = row.iter().map(Cell::csv).collect();
+            writeln!(f, "{}", fields.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Prints a grid to stdout (when `text`) and saves its CSV (when
+/// `csv_name` is set), reporting where — the single emission path every
+/// exhibit table goes through.
+pub fn emit(grid: &Grid, csv_name: Option<&str>, text: bool) {
+    if text {
+        print!("{}", grid.render());
+    }
+    if let Some(name) = csv_name {
+        match grid.write_csv(name) {
+            Ok(p) => println!("[csv written to {}]", p.display()),
+            Err(e) => eprintln!("[csv not written: {e}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_renders_and_marks_missing() {
+        let g = Grid {
+            title: "demo".into(),
+            columns: vec!["threads".into(), "A".into(), "B".into()],
+            rows: vec![
+                vec![Cell::Int(1), Cell::num(0.5, 1), Cell::Missing],
+                vec![Cell::Int(4), Cell::num(1.5, 1), Cell::num(f64::NAN, 1)],
+            ],
+        };
+        let s = g.render();
+        assert!(s.contains("demo"));
+        let one = s.find("\n       1").unwrap();
+        let four = s.find("\n       4").unwrap();
+        assert!(one < four, "rows render in insertion order:\n{s}");
+        assert!(s.contains('-'), "missing and NaN render as dash");
+    }
+
+    #[test]
+    fn csv_uses_raw_cells_and_empty_for_missing() {
+        let g = Grid {
+            title: String::new(),
+            columns: vec!["k".into(), "v".into(), "w".into()],
+            rows: vec![vec![Cell::text("x"), Cell::num(2.25, 2), Cell::Missing]],
+        };
+        let dir = std::env::temp_dir().join("cohort-bench-grid-test");
+        let p = g.write_csv_in(&dir, "grid_test").unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert_eq!(body, "k,v,w\nx,2.25,\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,9 +1,12 @@
 //! Shared machinery for the figure/table regeneration binaries.
 //!
 //! Every binary in this crate regenerates one exhibit of the paper's
-//! evaluation (see DESIGN.md §5 for the index). They share: environment
-//! configuration, the thread-count grid, sweep drivers over the
-//! [`lbench`] harness, and plain-text/CSV table rendering.
+//! evaluation (see DESIGN.md §5 for the index). Each binary *declares*
+//! an [`Exhibit`] — locks × grid × scenario × tables × self-checks —
+//! and the single [`exhibit::run_exhibit`] driver does the sweeping,
+//! progress reporting, table rendering ([`Grid`]), CSV writing, and
+//! acceptance checking. This module carries the environment knobs the
+//! declarations share.
 //!
 //! Environment knobs (all optional):
 //!
@@ -19,12 +22,18 @@
 //! aborts the binary with an error naming the knob and the accepted
 //! syntax, instead of being silently ignored.
 
+pub mod exhibit;
+pub mod grid;
 pub mod schema;
 
+pub use exhibit::{
+    exhibit_main, long_table, metric_table, policy_csv_row, policy_table, run_exhibit, Check,
+    Exhibit, Measure, Measurement, TableSpec,
+};
+pub use grid::{emit, Cell, Grid};
+
 use lbench::env::{env_positive_usize, env_positive_usize_list, env_u64, EnvKnobError};
-use lbench::{run_lbench, LBenchConfig, LBenchResult, LockKind, PolicySpec};
-use std::io::Write as _;
-use std::path::PathBuf;
+use lbench::LBenchConfig;
 use std::time::Duration;
 
 /// Unwraps an env-knob parse, aborting the binary with the knob-naming
@@ -78,256 +87,6 @@ pub fn base_config(threads: usize) -> LBenchConfig {
     }
 }
 
-/// Runs `locks × thread_grid()` and returns one result per cell, printing
-/// a progress line per row.
-pub fn sweep(locks: &[LockKind], patience_ns: Option<u64>) -> Vec<LBenchResult> {
-    let grid = thread_grid();
-    let mut out = Vec::with_capacity(locks.len() * grid.len());
-    for &threads in &grid {
-        for &kind in locks {
-            let mut cfg = base_config(threads);
-            cfg.patience_ns = patience_ns;
-            let r = run_lbench(kind, &cfg);
-            eprintln!(
-                "  [{kind} t={threads}] {:.3}e6 ops/s, {:.2} misses/CS, {:.1}% stddev, {} aborts ({:?} wall)",
-                r.throughput / 1e6,
-                r.misses_per_cs,
-                r.stddev_pct,
-                r.aborts,
-                r.wall
-            );
-            out.push(r);
-        }
-    }
-    out
-}
-
-/// A rendered table: one row per thread count, one column per lock.
-pub struct Table {
-    /// Exhibit title, printed above the table.
-    pub title: String,
-    /// Column headers (lock names).
-    pub columns: Vec<String>,
-    /// (thread count, value per column).
-    pub rows: Vec<(usize, Vec<f64>)>,
-    /// Printed value precision.
-    pub precision: usize,
-}
-
-impl Table {
-    /// Builds a table from sweep results using `metric` to pick the value.
-    pub fn from_results(
-        title: &str,
-        locks: &[LockKind],
-        results: &[LBenchResult],
-        precision: usize,
-        metric: impl Fn(&LBenchResult) -> f64,
-    ) -> Table {
-        let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
-        for r in results {
-            let col = locks
-                .iter()
-                .position(|&k| k == r.kind)
-                .expect("result for unknown lock");
-            match rows.iter_mut().find(|(t, _)| *t == r.threads) {
-                Some((_, vals)) => vals[col] = metric(r),
-                None => {
-                    let mut vals = vec![f64::NAN; locks.len()];
-                    vals[col] = metric(r);
-                    rows.push((r.threads, vals));
-                }
-            }
-        }
-        rows.sort_by_key(|(t, _)| *t);
-        Table {
-            title: title.to_string(),
-            columns: locks.iter().map(|k| k.name().to_string()).collect(),
-            rows,
-            precision,
-        }
-    }
-
-    /// Renders the table as aligned plain text (rows ordered by thread
-    /// count regardless of insertion order).
-    pub fn render(&self) -> String {
-        let mut s = String::new();
-        s.push_str(&format!("\n== {} ==\n", self.title));
-        let width = self
-            .columns
-            .iter()
-            .map(|c| c.len())
-            .max()
-            .unwrap_or(8)
-            .max(10);
-        s.push_str(&format!("{:>8} ", "threads"));
-        for c in &self.columns {
-            s.push_str(&format!("{c:>width$} "));
-        }
-        s.push('\n');
-        let mut rows: Vec<_> = self.rows.iter().collect();
-        rows.sort_by_key(|(t, _)| *t);
-        for (t, vals) in rows {
-            s.push_str(&format!("{t:>8} "));
-            for v in vals {
-                if v.is_nan() {
-                    s.push_str(&format!("{:>width$} ", "-"));
-                } else {
-                    s.push_str(&format!("{:>width$.prec$} ", v, prec = self.precision));
-                }
-            }
-            s.push('\n');
-        }
-        s
-    }
-
-    /// Writes the table as CSV into `RESULTS_DIR/<name>.csv`.
-    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
-        let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
-        std::fs::create_dir_all(&dir)?;
-        let path = PathBuf::from(dir).join(format!("{name}.csv"));
-        let mut f = std::fs::File::create(&path)?;
-        write!(f, "threads")?;
-        for c in &self.columns {
-            write!(f, ",{c}")?;
-        }
-        writeln!(f)?;
-        for (t, vals) in &self.rows {
-            write!(f, "{t}")?;
-            for v in vals {
-                if v.is_nan() {
-                    write!(f, ",")?;
-                } else {
-                    write!(f, ",{:.prec$}", v, prec = self.precision)?;
-                }
-            }
-            writeln!(f)?;
-        }
-        Ok(path)
-    }
-}
-
-/// Prints a table to stdout and saves the CSV, reporting where.
-pub fn emit(table: &Table, csv_name: &str) {
-    print!("{}", table.render());
-    match table.write_csv(csv_name) {
-        Ok(p) => println!("[csv written to {}]", p.display()),
-        Err(e) => eprintln!("[csv not written: {e}]"),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Policy sweeps (ablations A and D)
-
-/// One cell of a handoff-policy sweep: a (lock, policy) pair's throughput,
-/// fairness, and tenure statistics.
-#[derive(Clone, Debug)]
-pub struct PolicyRow {
-    /// Lock under test.
-    pub kind: LockKind,
-    /// Policy label used in the run.
-    pub policy: String,
-    /// The full LBench measurement.
-    pub result: LBenchResult,
-}
-
-/// Runs `locks × policies` at one thread count, printing a progress line
-/// per cell — the shared driver behind `ablation_handoff` and
-/// `ablation_policy`.
-pub fn policy_sweep(locks: &[LockKind], policies: &[PolicySpec], threads: usize) -> Vec<PolicyRow> {
-    let mut rows = Vec::with_capacity(locks.len() * policies.len());
-    for &kind in locks {
-        for &policy in policies {
-            let mut cfg = base_config(threads);
-            cfg.policy = Some(policy);
-            let r = run_lbench(kind, &cfg);
-            eprintln!(
-                "  [{kind} {policy} t={threads}] {:.3}e6 ops/s, {:.1} mean streak, {:.2} migr/tenure ({:?} wall)",
-                r.throughput / 1e6,
-                r.mean_streak,
-                r.migrations_per_tenure,
-                r.wall
-            );
-            rows.push(PolicyRow {
-                kind,
-                policy: policy.to_string(),
-                result: r,
-            });
-        }
-    }
-    rows
-}
-
-/// Renders policy-sweep rows as an aligned text table.
-pub fn render_policy_rows(title: &str, rows: &[PolicyRow]) -> String {
-    let mut s = String::new();
-    s.push_str(&format!("\n== {title} ==\n"));
-    s.push_str(&format!(
-        "{:>10} {:>16} {:>14} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
-        "lock",
-        "policy",
-        "ops/sec",
-        "stddev %",
-        "mean batch",
-        "misses/CS",
-        "mean streak",
-        "migr/tenure"
-    ));
-    for row in rows {
-        let r = &row.result;
-        s.push_str(&format!(
-            "{:>10} {:>16} {:>14.0} {:>10.1} {:>12.1} {:>12.3} {:>12.1} {:>12.2}\n",
-            row.kind.name(),
-            row.policy,
-            r.throughput,
-            r.stddev_pct,
-            r.mean_batch,
-            r.misses_per_cs,
-            r.mean_streak,
-            r.migrations_per_tenure
-        ));
-    }
-    s
-}
-
-/// Writes policy-sweep rows as `RESULTS_DIR/<name>.csv` with one row per
-/// (lock, policy) cell.
-pub fn write_policy_csv(rows: &[PolicyRow], name: &str) -> std::io::Result<PathBuf> {
-    let dir = std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".into());
-    std::fs::create_dir_all(&dir)?;
-    let path = PathBuf::from(dir).join(format!("{name}.csv"));
-    let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{}", schema::POLICY_HEADER)?;
-    for row in rows {
-        let r = &row.result;
-        writeln!(
-            f,
-            "{},{},{},{:.0},{:.2},{:.2},{:.4},{},{},{:.2},{},{:.4}",
-            row.kind.name(),
-            row.policy,
-            r.threads,
-            r.throughput,
-            r.stddev_pct,
-            r.mean_batch,
-            r.misses_per_cs,
-            r.tenures,
-            r.local_handoffs,
-            r.mean_streak,
-            r.max_streak,
-            r.migrations_per_tenure
-        )?;
-    }
-    Ok(path)
-}
-
-/// Prints a policy table and saves its CSV, reporting where.
-pub fn emit_policy_rows(title: &str, rows: &[PolicyRow], csv_name: &str) {
-    print!("{}", render_policy_rows(title, rows));
-    match write_policy_csv(rows, csv_name) {
-        Ok(p) => println!("[csv written to {}]", p.display()),
-        Err(e) => eprintln!("[csv not written: {e}]"),
-    }
-}
-
 /// Thread count for the ablation binaries (`LBENCH_ABLATION_THREADS`,
 /// default 32; malformed or zero values abort).
 pub fn ablation_threads() -> usize {
@@ -344,21 +103,5 @@ mod tests {
         let g = thread_grid();
         assert!(!g.is_empty());
         assert!(g.iter().all(|&t| t >= 1));
-    }
-
-    #[test]
-    fn table_renders_and_orders_rows() {
-        let t = Table {
-            title: "demo".into(),
-            columns: vec!["A".into(), "B".into()],
-            rows: vec![(4, vec![1.5, 2.5]), (1, vec![0.5, f64::NAN])],
-            precision: 1,
-        };
-        let s = t.render();
-        assert!(s.contains("demo"));
-        let one = s.find("\n       1").unwrap();
-        let four = s.find("\n       4").unwrap();
-        assert!(one < four, "rows must be sorted by thread count:\n{s}");
-        assert!(s.contains('-'), "NaN renders as dash");
     }
 }

@@ -21,16 +21,26 @@ pub fn table_header(locks: &[LockKind]) -> String {
     s
 }
 
-/// Header of `fig_rw.csv` (written by the `fig_rw` binary).
+/// Header of `fig_rw.csv` (written by the `fig_rw` binary). The
+/// `lat_p50_ns`/`lat_p99_ns` columns are modelled acquisition-latency
+/// percentiles over exclusive (handoff-charged) acquisitions.
 pub const FIG_RW_HEADER: &str = "lock,read_pct,threads,throughput,read_ops,write_ops,\
-     exclusive_acquisitions,migrations,tenures,local_handoffs,mean_streak,max_streak,policy";
+     exclusive_acquisitions,migrations,tenures,local_handoffs,mean_streak,max_streak,\
+     lat_p50_ns,lat_p99_ns,policy";
+
+/// Header of `fig_scenarios.csv` (written by the `fig_scenarios`
+/// binary): one row per scenario × lock, with the load-shape label, op
+/// split, locality/tenure counters, and latency percentiles.
+pub const FIG_SCENARIOS_HEADER: &str = "scenario,shape,lock,threads,clusters,read_pct,\
+     throughput,total_ops,read_ops,write_ops,acquisitions,migrations,misses_per_cs,\
+     mean_batch,tenures,local_handoffs,mean_streak,max_streak,lat_p50_ns,lat_p99_ns,policy";
 
 /// Header of `fig_cna.csv` (written by the `fig_cna` binary).
 pub const FIG_CNA_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,migrations,\
      misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,policy";
 
 /// Header of the policy-sweep CSVs (`ablation_policy.csv`,
-/// `ablation_handoff.csv`; written by [`crate::write_policy_csv`]).
+/// `ablation_handoff.csv`; rows built by [`crate::policy_csv_row`]).
 pub const POLICY_HEADER: &str = "lock,policy,threads,throughput,stddev_pct,mean_batch,\
      misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,migrations_per_tenure";
 
@@ -42,8 +52,11 @@ pub fn expected_header(file_name: &str) -> Option<String> {
     match file_name {
         "fig_rw.csv" => Some(FIG_RW_HEADER.to_string()),
         "fig_cna.csv" => Some(FIG_CNA_HEADER.to_string()),
+        "fig_scenarios.csv" => Some(FIG_SCENARIOS_HEADER.to_string()),
         "ablation_policy.csv" | "ablation_handoff.csv" => Some(POLICY_HEADER.to_string()),
         "fig2_throughput.csv"
+        | "fig2_lat_p50.csv"
+        | "fig2_lat_p99.csv"
         | "fig3_misses_per_cs.csv"
         | "fig4_low_contention.csv"
         | "fig5_fairness.csv" => Some(table_header(&LockKind::FIG2)),
@@ -105,8 +118,33 @@ mod tests {
 
     #[test]
     fn literal_headers_have_no_stray_whitespace() {
-        for h in [FIG_RW_HEADER, FIG_CNA_HEADER, POLICY_HEADER] {
+        for h in [
+            FIG_RW_HEADER,
+            FIG_CNA_HEADER,
+            FIG_SCENARIOS_HEADER,
+            POLICY_HEADER,
+        ] {
             assert!(!h.contains(' '), "continuation indent leaked: {h}");
         }
+    }
+
+    #[test]
+    fn latency_extended_headers_are_pinned() {
+        assert!(
+            FIG_RW_HEADER.ends_with("lat_p50_ns,lat_p99_ns,policy"),
+            "{FIG_RW_HEADER}"
+        );
+        let scen = expected_header("fig_scenarios.csv").unwrap();
+        assert!(scen.starts_with("scenario,shape,lock,"), "{scen}");
+        assert!(scen.contains("lat_p50_ns,lat_p99_ns"), "{scen}");
+        // The fig2 latency companions share the FIG2 matrix schema.
+        assert_eq!(
+            expected_header("fig2_lat_p50.csv"),
+            Some(table_header(&LockKind::FIG2))
+        );
+        assert_eq!(
+            expected_header("fig2_lat_p99.csv"),
+            Some(table_header(&LockKind::FIG2))
+        );
     }
 }

@@ -43,6 +43,22 @@ pub trait BenchRwLock: Send + Sync {
         false
     }
 
+    /// Tries the exclusive side with a timeout; `true` on success. Locks
+    /// without abort support simply block (and return `true`) — the same
+    /// contract as [`BenchLock::acquire_with_patience`], which this
+    /// subsumes now that every lock flows through the [`BenchRwLock`]
+    /// interface.
+    fn acquire_write_with_patience(&self, patience_ns: u64) -> bool {
+        let _ = patience_ns;
+        self.acquire_write();
+        true
+    }
+
+    /// Whether `acquire_write_with_patience` can actually time out.
+    fn is_abortable(&self) -> bool {
+        false
+    }
+
     /// Writer-tenure statistics, for cohort-based locks (`None`
     /// otherwise).
     fn cohort_stats(&self) -> Option<CohortStats> {
@@ -197,21 +213,29 @@ impl BenchRwLock for StdRwAdapter {
     }
 }
 
-/// The single-writer baseline: any [`BenchLock`] worn as a reader-writer
-/// lock, with reads taken **exclusively**. What every workload in this
-/// repository did before the C-RW layer existed.
-pub struct MutexAsRw {
-    inner: Arc<dyn BenchLock>,
+/// The blanket adapter through which [`BenchRwLock`] subsumes
+/// [`BenchLock`]: any exclusive lock worn as a reader-writer lock, with
+/// reads taken **exclusively**. It forwards the *entire* `BenchLock`
+/// surface — abortable acquisition, cohort statistics, policy label — so
+/// the scenario engine only ever drives one erased interface. Doubles as
+/// the single-writer baseline of the RW exhibits (what every workload in
+/// this repository did before the C-RW layer existed).
+///
+/// Generic over the wrapped lock (`dyn BenchLock` by default, so
+/// `MutexAsRw::new(kind.make(&topo))` keeps working); a concrete `L`
+/// avoids the second indirection when the type is statically known.
+pub struct MutexAsRw<L: BenchLock + ?Sized = dyn BenchLock> {
+    inner: Arc<L>,
 }
 
-impl MutexAsRw {
+impl<L: BenchLock + ?Sized> MutexAsRw<L> {
     /// Wraps `lock`.
-    pub fn new(lock: Arc<dyn BenchLock>) -> Self {
+    pub fn new(lock: Arc<L>) -> Self {
         MutexAsRw { inner: lock }
     }
 }
 
-impl BenchRwLock for MutexAsRw {
+impl<L: BenchLock + ?Sized> BenchRwLock for MutexAsRw<L> {
     fn acquire_read(&self) {
         self.inner.acquire();
     }
@@ -230,6 +254,14 @@ impl BenchRwLock for MutexAsRw {
 
     fn read_is_exclusive(&self) -> bool {
         true
+    }
+
+    fn acquire_write_with_patience(&self, patience_ns: u64) -> bool {
+        self.inner.acquire_with_patience(patience_ns)
+    }
+
+    fn is_abortable(&self) -> bool {
+        self.inner.is_abortable()
     }
 
     fn cohort_stats(&self) -> Option<CohortStats> {

@@ -43,6 +43,16 @@ pub enum EnvKnobError {
         /// The underlying parse error (already self-describing).
         err: PolicyParseError,
     },
+    /// A choice knob (or one entry of its comma-separated list) named no
+    /// known option.
+    Choice {
+        /// The knob being parsed.
+        knob: String,
+        /// The rejected value (a single list entry where applicable).
+        value: String,
+        /// The accepted option names.
+        allowed: &'static [&'static str],
+    },
     /// The variable was set but not valid Unicode.
     NotUnicode {
         /// The knob being parsed.
@@ -65,6 +75,15 @@ impl fmt::Display for EnvKnobError {
             } => write!(
                 f,
                 "env knob {knob}: unrecognized value {value:?} (accepted: {expected})"
+            ),
+            EnvKnobError::Choice {
+                knob,
+                value,
+                allowed,
+            } => write!(
+                f,
+                "env knob {knob}: unrecognized value {value:?} (accepted: {})",
+                allowed.join(", ")
             ),
             EnvKnobError::Policy { knob, err } => write!(f, "env knob {knob}: {err}"),
             EnvKnobError::NotUnicode { knob } => {
@@ -133,6 +152,56 @@ pub fn env_positive_usize(knob: &str) -> Result<Option<usize>, EnvKnobError> {
                 expected: "a positive integer",
             }),
         },
+    }
+}
+
+/// Positive-`u64` knob (burst window lengths): unset ⇒ `None`; `0` or a
+/// malformed value is an error.
+pub fn env_positive_u64(knob: &str) -> Result<Option<u64>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(EnvKnobError::Number {
+                knob: knob.to_string(),
+                value: v,
+                expected: "a positive integer",
+            }),
+        },
+    }
+}
+
+/// Comma-separated choice-list knob (scenario names): unset or all-blank
+/// ⇒ `None`; any entry outside `allowed` is an error quoting that entry
+/// and the accepted names. Matching is case-insensitive; the returned
+/// entries are the canonical (`allowed`) spellings, deduplicated in
+/// first-mention order.
+pub fn env_choice_list(
+    knob: &str,
+    allowed: &'static [&'static str],
+) -> Result<Option<Vec<&'static str>>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => {
+            let mut out: Vec<&'static str> = Vec::new();
+            for part in v.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                match allowed.iter().find(|a| a.eq_ignore_ascii_case(part)) {
+                    Some(&canonical) => {
+                        if !out.contains(&canonical) {
+                            out.push(canonical);
+                        }
+                    }
+                    None => {
+                        return Err(EnvKnobError::Choice {
+                            knob: knob.to_string(),
+                            value: part.to_string(),
+                            allowed,
+                        })
+                    }
+                }
+            }
+            Ok(if out.is_empty() { None } else { Some(out) })
+        }
     }
 }
 
@@ -266,6 +335,45 @@ mod tests {
         std::env::set_var("LBENCH_TEST_LIST", " , ");
         assert_eq!(env_positive_usize_list("LBENCH_TEST_LIST"), Ok(None));
         std::env::remove_var("LBENCH_TEST_LIST");
+    }
+
+    #[test]
+    fn choice_list_canonicalizes_and_rejects_unknown_names() {
+        let _g = env_guard();
+        const ALLOWED: &[&str] = &["steady", "bursty", "phased"];
+        assert_eq!(
+            env_choice_list("LBENCH_TEST_CHOICE_UNSET", ALLOWED),
+            Ok(None)
+        );
+        std::env::set_var("LBENCH_TEST_CHOICE", "Bursty, steady,bursty");
+        assert_eq!(
+            env_choice_list("LBENCH_TEST_CHOICE", ALLOWED),
+            Ok(Some(vec!["bursty", "steady"])),
+            "case-folded, deduplicated, first-mention order"
+        );
+        std::env::set_var("LBENCH_TEST_CHOICE", "steady,spiky");
+        let msg = env_choice_list("LBENCH_TEST_CHOICE", ALLOWED)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("\"spiky\""), "{msg}");
+        assert!(msg.contains("steady, bursty, phased"), "{msg}");
+        std::env::set_var("LBENCH_TEST_CHOICE", " , ");
+        assert_eq!(env_choice_list("LBENCH_TEST_CHOICE", ALLOWED), Ok(None));
+        std::env::remove_var("LBENCH_TEST_CHOICE");
+    }
+
+    #[test]
+    fn positive_u64_knob_rejects_zero() {
+        let _g = env_guard();
+        assert_eq!(env_positive_u64("LBENCH_TEST_PU64_UNSET"), Ok(None));
+        std::env::set_var("LBENCH_TEST_PU64", "250");
+        assert_eq!(env_positive_u64("LBENCH_TEST_PU64"), Ok(Some(250)));
+        std::env::set_var("LBENCH_TEST_PU64", "0");
+        let msg = env_positive_u64("LBENCH_TEST_PU64")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("positive"), "{msg}");
+        std::env::remove_var("LBENCH_TEST_PU64");
     }
 
     #[test]

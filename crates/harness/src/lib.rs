@@ -27,6 +27,16 @@
 //! exclusive-read baselines), [`RwLockKind`] names them, and
 //! [`run_rw_lbench`] drives a `read_pct`-weighted mix through them for
 //! the `fig_rw` exhibit.
+//!
+//! Underneath both sits the **scenario engine** (the `scenario` module):
+//! a [`Scenario`] describes the per-thread op mix (exclusive /
+//! shared-read / abortable-with-patience) and its [`LoadShape`] over time
+//! (steady, bursty on/off, phased read-ratio schedule, thread-asymmetric
+//! idling); [`run_scenario`] is the ONE measurement loop, driving any
+//! [`AnyLockKind`] — the unified registry over [`LockKind`] and
+//! [`RwLockKind`] — through the single erased [`BenchRwLock`] interface
+//! ([`MutexAsRw`] subsumes every [`BenchLock`]). `run_lbench` and
+//! `run_rw_lbench` are thin compatibility wrappers over it.
 
 #![deny(missing_docs)]
 
@@ -36,6 +46,7 @@ pub mod env;
 pub mod pace;
 mod registry;
 mod runner;
+mod scenario;
 pub mod stats;
 
 pub use bench_lock::{
@@ -45,8 +56,9 @@ pub use bench_lock::{
 pub use bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 pub use cohort::{CohortStats, PolicySpec};
 pub use env::EnvKnobError;
-pub use registry::{LockKind, RwLockKind};
+pub use registry::{AnyLockKind, LockKind, RwLockKind};
 pub use runner::{
     run_lbench, run_lbench_on, run_rw_lbench, LBenchConfig, LBenchResult, Placement, RwBenchResult,
     TimeMode,
 };
+pub use scenario::{run_scenario, run_scenario_on, LoadShape, Phase, Scenario, ScenarioResult};

@@ -360,6 +360,14 @@ impl RwLockKind {
         )
     }
 
+    /// Whether a [`PolicySpec`] applies to this kind: the cohort RW
+    /// locks (it bounds their writer tenures) *and* the single-writer
+    /// baseline (whose wrapped C-BO-MCS honors it — its `fig_rw.csv`
+    /// rows carry the policy label).
+    pub fn has_policy_knob(self) -> bool {
+        self.is_cohort_rw() || matches!(self, RwLockKind::MutexCBoMcs)
+    }
+
     /// Instantiates the lock over `topo`, honoring `policy` (writer-tenure
     /// bound) where it applies.
     pub fn make(self, topo: &Arc<Topology>, policy: Option<PolicySpec>) -> Arc<dyn BenchRwLock> {
@@ -395,6 +403,91 @@ impl RwLockKind {
 }
 
 impl std::fmt::Display for RwLockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every lock in the repository — exclusive and reader-writer — behind
+/// **one** registry surface, the one the scenario engine
+/// ([`run_scenario`](crate::run_scenario)) consumes.
+///
+/// Exclusive kinds are erased through [`MutexAsRw`] (reads taken
+/// exclusively, which the engine detects via
+/// [`BenchRwLock::read_is_exclusive`] and charges through the handoff
+/// channel); RW kinds construct as themselves. Either way the product is
+/// an `Arc<dyn BenchRwLock>` — the single erased interface every
+/// exhibit drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AnyLockKind {
+    /// A mutual-exclusion lock from [`LockKind`].
+    Excl(LockKind),
+    /// A reader-writer lock from [`RwLockKind`].
+    Rw(RwLockKind),
+}
+
+impl AnyLockKind {
+    /// The name used in the exhibits (delegates to the wrapped registry).
+    pub fn name(self) -> &'static str {
+        match self {
+            AnyLockKind::Excl(k) => k.name(),
+            AnyLockKind::Rw(k) => k.name(),
+        }
+    }
+
+    /// Instantiates the lock over `topo`, honoring `policy` where it
+    /// applies — the one constructor behind every scenario run.
+    pub fn make(self, topo: &Arc<Topology>, policy: Option<PolicySpec>) -> Arc<dyn BenchRwLock> {
+        match self {
+            AnyLockKind::Excl(k) => {
+                Arc::new(MutexAsRw::new(k.make_with_optional_policy(topo, policy)))
+            }
+            AnyLockKind::Rw(k) => k.make(topo, policy),
+        }
+    }
+
+    /// Instantiates the lock over `topo` with an explicit handoff policy
+    /// (kinds without a policy knob ignore it, as in
+    /// [`LockKind::make_with_policy`]).
+    pub fn make_with_policy(
+        self,
+        topo: &Arc<Topology>,
+        policy: PolicySpec,
+    ) -> Arc<dyn BenchRwLock> {
+        self.make(topo, Some(policy))
+    }
+
+    /// Whether a [`PolicySpec`] applies to this kind.
+    pub fn has_policy_knob(self) -> bool {
+        match self {
+            AnyLockKind::Excl(k) => k.has_policy_knob(),
+            AnyLockKind::Rw(k) => k.has_policy_knob(),
+        }
+    }
+
+    /// Whether this kind belongs to the cohort family (exclusive cohort
+    /// compositions or the cohort RW locks).
+    pub fn is_cohort_family(self) -> bool {
+        match self {
+            AnyLockKind::Excl(k) => k.is_cohort(),
+            AnyLockKind::Rw(k) => k.is_cohort_rw(),
+        }
+    }
+}
+
+impl From<LockKind> for AnyLockKind {
+    fn from(k: LockKind) -> Self {
+        AnyLockKind::Excl(k)
+    }
+}
+
+impl From<RwLockKind> for AnyLockKind {
+    fn from(k: RwLockKind) -> Self {
+        AnyLockKind::Rw(k)
+    }
+}
+
+impl std::fmt::Display for AnyLockKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
@@ -558,6 +651,50 @@ mod tests {
                 assert!(lock.cohort_stats().is_some(), "{kind}");
             }
         }
+    }
+
+    #[test]
+    fn any_kind_unifies_both_registries() {
+        let topo = Arc::new(Topology::new(4));
+        // Exclusive kinds flow through MutexAsRw: reads are exclusive,
+        // the full BenchLock surface (stats, abortability) passes through.
+        let excl = AnyLockKind::from(LockKind::CBoMcs).make(&topo, None);
+        assert!(excl.read_is_exclusive());
+        assert!(!excl.is_abortable());
+        excl.acquire_write();
+        excl.release_write();
+        excl.acquire_read();
+        excl.release_read();
+        assert!(excl.cohort_stats().is_some());
+        assert_eq!(excl.policy_label().as_deref(), Some("count(64)"));
+
+        let abortable = AnyLockKind::Excl(LockKind::ACBoClh).make(&topo, None);
+        assert!(abortable.is_abortable());
+        assert!(abortable.acquire_write_with_patience(1_000_000_000));
+        abortable.release_write();
+
+        // RW kinds construct as themselves: genuinely shared reads.
+        let rw = AnyLockKind::from(RwLockKind::CRwWpBoMcs).make(&topo, None);
+        assert!(!rw.read_is_exclusive());
+        assert!(!rw.is_abortable());
+        rw.acquire_read();
+        rw.release_read();
+
+        // One name/policy surface over both.
+        assert_eq!(AnyLockKind::Excl(LockKind::Mcs).name(), "MCS");
+        assert_eq!(AnyLockKind::Rw(RwLockKind::StdRw).name(), "std-RwLock");
+        assert!(AnyLockKind::Excl(LockKind::Cna).has_policy_knob());
+        assert!(AnyLockKind::Rw(RwLockKind::CRwWpBoMcs).has_policy_knob());
+        assert!(
+            AnyLockKind::Rw(RwLockKind::MutexCBoMcs).has_policy_knob(),
+            "the single-writer baseline's wrapped cohort lock honors the knob"
+        );
+        assert!(!AnyLockKind::Rw(RwLockKind::StdRw).has_policy_knob());
+        assert!(AnyLockKind::Rw(RwLockKind::CRwWpBoMcs).is_cohort_family());
+        assert!(!AnyLockKind::Excl(LockKind::Cna).is_cohort_family());
+        let with_policy = AnyLockKind::Excl(LockKind::CTktMcs)
+            .make_with_policy(&topo, PolicySpec::Count { bound: 2 });
+        assert_eq!(with_policy.policy_label().as_deref(), Some("count(2)"));
     }
 
     #[test]

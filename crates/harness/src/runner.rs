@@ -1,4 +1,5 @@
-//! The LBench microbenchmark runner (§4.1 of the paper).
+//! The legacy LBench entry points (§4.1 of the paper), as **thin
+//! compatibility wrappers** over the scenario engine.
 //!
 //! Each thread loops: acquire the central lock → write the shared cache
 //! lines (two, in the paper) → release → idle for a random non-critical
@@ -14,18 +15,27 @@
 //!
 //! In wall mode the same loop runs with real time everywhere (for use on
 //! actual multi-socket hardware).
+//!
+//! Since the scenario refactor the measurement loop itself lives in
+//! [`run_scenario`](crate::run_scenario): [`run_lbench`] submits the
+//! steady exclusive scenario, [`run_rw_lbench`] the steady `read_pct`
+//! mix, and both convert the engine's [`ScenarioResult`] back to the
+//! legacy result structs. The `scenario_parity` integration test pins
+//! that the wrappers reproduce the pre-refactor drivers' numbers.
+//!
+//! [`Directory`]: coherence_sim::Directory
+//! [`HandoffChannel`]: coherence_sim::HandoffChannel
+//! [`ScenarioResult`]: crate::ScenarioResult
 
 use crate::bench_lock::BenchLock;
-use crate::pace::{kappa_for, spin_wall};
-use crate::registry::{LockKind, RwLockKind};
-use coherence_sim::{take_thread_stats, CostModel, Directory, HandoffChannel};
+use crate::bench_rwlock::MutexAsRw;
+use crate::registry::{AnyLockKind, LockKind, RwLockKind};
+use crate::scenario::{run_scenario, run_scenario_on, Scenario};
+use coherence_sim::CostModel;
 use cohort::PolicySpec;
-use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
-use std::time::{Duration, Instant};
+use numa_topology::Topology;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// How threads are laid out over clusters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,13 +102,16 @@ pub struct LBenchConfig {
     /// Thread layout.
     pub placement: Placement,
     /// `Some(patience)` switches to abortable acquisition (Figure 6).
+    /// Consumed by the [`run_lbench`] wrapper (which forwards it into its
+    /// [`Scenario`]); `run_scenario` itself takes patience from the
+    /// scenario.
     pub patience_ns: Option<u64>,
     /// Handoff policy for cohort locks (`None` = each lock's default,
     /// i.e. the paper's `CountBound(64)`). Ignored by non-cohort locks.
     pub policy: Option<PolicySpec>,
     /// Percentage of operations taking the **read** side (0–100). Only
-    /// meaningful to [`run_rw_lbench`]; the mutual-exclusion runners
-    /// ignore it.
+    /// meaningful to [`run_rw_lbench`] (which forwards it into its
+    /// [`Scenario`]); the exclusive wrapper and `run_scenario` ignore it.
     pub read_pct: u32,
     /// Wall-clock safety net: the run is cut off after this much real time
     /// regardless of virtual progress.
@@ -178,229 +191,36 @@ pub struct LBenchResult {
     pub wall: Duration,
 }
 
-fn cluster_for(i: usize, cfg: &LBenchConfig) -> ClusterId {
-    match cfg.placement {
-        Placement::RoundRobin => ClusterId::new((i % cfg.clusters) as u32),
-        Placement::Blocked => {
-            let per = cfg.threads.div_ceil(cfg.clusters).max(1);
-            ClusterId::new(((i / per).min(cfg.clusters - 1)) as u32)
-        }
-    }
-}
-
 /// Runs LBench for `kind` under `cfg` (honoring `cfg.policy` for cohort
-/// locks).
+/// locks). Compatibility wrapper: submits the steady exclusive
+/// [`Scenario`] to [`run_scenario`].
 pub fn run_lbench(kind: LockKind, cfg: &LBenchConfig) -> LBenchResult {
-    let topo = Arc::new(Topology::new(cfg.clusters));
-    let lock = kind.make_with_optional_policy(&topo, cfg.policy);
-    run_lbench_on(kind, lock, topo, cfg)
+    run_scenario(
+        AnyLockKind::Excl(kind),
+        &Scenario::from_exclusive_config(cfg),
+        cfg,
+    )
+    .into_lbench()
 }
 
-/// Runs LBench against an already-constructed lock (used by ablations that
-/// build cohort locks with non-default policies).
+/// Runs LBench against an already-constructed lock (used by ablations
+/// that build cohort locks with non-default policies). Compatibility
+/// wrapper: erases the lock through [`MutexAsRw`] and submits the steady
+/// exclusive [`Scenario`] to [`run_scenario_on`].
 pub fn run_lbench_on(
     kind: LockKind,
     lock: Arc<dyn BenchLock>,
     topo: Arc<Topology>,
     cfg: &LBenchConfig,
 ) -> LBenchResult {
-    assert!(cfg.threads >= 1);
-    let dir = Arc::new(Directory::new(cfg.cs_lines.max(1), cfg.cost));
-    let handoff = Arc::new(HandoffChannel::new(cfg.cost));
-    let stop = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(cfg.threads));
-    let started = Instant::now();
-
-    let handles: Vec<_> = (0..cfg.threads)
-        .map(|i| {
-            let topo = Arc::clone(&topo);
-            let lock = Arc::clone(&lock);
-            let dir = Arc::clone(&dir);
-            let handoff = Arc::clone(&handoff);
-            let stop = Arc::clone(&stop);
-            let barrier = Arc::clone(&barrier);
-            let cfg = cfg.clone();
-            std::thread::spawn(move || {
-                let my_cluster = cluster_for(i, &cfg);
-                bind_current_thread(&topo, my_cluster);
-                vclock::reset();
-                take_thread_stats();
-                let mut rng = StdRng::seed_from_u64(0x5EED ^ i as u64);
-                // Pacing multiplier (see pace_scale docs).
-                let kappa = if cfg.pace_wall && cfg.mode == TimeMode::Virtual {
-                    cfg.pace_scale.unwrap_or_else(|| kappa_for(cfg.threads))
-                } else {
-                    1
-                };
-                let mut ops = 0u64;
-                let mut aborts = 0u64;
-                barrier.wait();
-                let wall_start = Instant::now();
-                let mut check = 0u32;
-                while !stop.load(Ordering::Relaxed) {
-                    // Acquire (possibly abortable).
-                    match cfg.patience_ns {
-                        None => lock.acquire(),
-                        Some(p) => {
-                            // Patience is virtual; scale it into the paced
-                            // wall-time frame the waiters experience.
-                            if !lock.acquire_with_patience(p * kappa) {
-                                aborts += 1;
-                                if cfg.mode == TimeMode::Virtual {
-                                    // The wait itself consumed the patience.
-                                    vclock::advance(p);
-                                    if vclock::now() >= cfg.window_ns {
-                                        stop.store(true, Ordering::Relaxed);
-                                    }
-                                }
-                                continue;
-                            }
-                        }
-                    }
-
-                    // ----- critical section -----
-                    match cfg.mode {
-                        TimeMode::Virtual => {
-                            handoff.on_acquire(my_cluster);
-                            // Measure only the critical-section work, not
-                            // the queue-wait catch-up on_acquire applied.
-                            let cs_start = vclock::now();
-                            for line in 0..cfg.cs_lines {
-                                dir.write(line, my_cluster);
-                            }
-                            vclock::advance(cfg.cs_extra_ns);
-                            if cfg.pace_wall {
-                                // Hold the lock for κ× the modelled CS
-                                // duration of wall time, *yielding* while
-                                // holding: on an oversubscribed host this
-                                // is the window in which other workers get
-                                // to run, observe the held lock, and
-                                // enqueue — i.e. where real queue depth
-                                // and batch composition form.
-                                let charged = vclock::now().saturating_sub(cs_start);
-                                spin_wall((charged * kappa).min(50_000), true);
-                            }
-                            for _ in 0..cfg.cs_yields {
-                                std::thread::yield_now();
-                            }
-                            if vclock::now() >= cfg.window_ns {
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                            handoff.on_release(my_cluster);
-                        }
-                        TimeMode::Wall => {
-                            handoff.on_acquire(my_cluster);
-                            // Touch real shared state so the hardware does
-                            // the coherence work.
-                            for line in 0..cfg.cs_lines {
-                                dir.write(line, my_cluster);
-                            }
-                            handoff.on_release(my_cluster);
-                        }
-                    }
-                    lock.release();
-                    ops += 1;
-
-                    // ----- non-critical section -----
-                    let idle = rng.gen_range(0..=cfg.noncs_max_ns);
-                    match cfg.mode {
-                        TimeMode::Virtual => {
-                            vclock::advance(idle);
-                            if cfg.pace_wall {
-                                // Stay away from the lock for the paced
-                                // duration (yield so peers run meanwhile).
-                                spin_wall(idle * kappa, true);
-                            }
-                        }
-                        TimeMode::Wall => {
-                            let t0 = Instant::now();
-                            while (t0.elapsed().as_nanos() as u64) < idle {
-                                std::hint::spin_loop();
-                            }
-                            if wall_start.elapsed().as_nanos() >= cfg.window_ns as u128 {
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    }
-
-                    // Wall-clock safety net.
-                    check = check.wrapping_add(1);
-                    if check.is_multiple_of(512) && wall_start.elapsed() > cfg.max_wall {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                }
-                (ops, aborts, take_thread_stats())
-            })
-        })
-        .collect();
-
-    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
-    let mut aborts = 0u64;
-    let mut remote_misses = 0u64;
-    for h in handles {
-        let (ops, ab, stats) = h.join().expect("lbench worker panicked");
-        per_thread_ops.push(ops);
-        aborts += ab;
-        remote_misses += stats.remote_misses;
-    }
-
-    let total_ops: u64 = per_thread_ops.iter().sum();
-    let acquisitions = handoff.acquisitions();
-    let migrations = handoff.migrations();
-    let window_s = cfg.window_ns as f64 / 1e9;
-    let (mean, stddev_pct) = crate::stats::mean_stddev_pct(&per_thread_ops);
-    let _ = mean;
-    // Tenure statistics from the cohort policy's counters (zeros for
-    // non-cohort locks, which have no tenure notion).
-    let cstats = lock.cohort_stats();
-    let (tenures, local_handoffs, mean_streak, max_streak) = match &cstats {
-        Some(s) => (
-            s.tenures(),
-            s.local_handoffs(),
-            s.mean_streak(),
-            s.max_streak(),
-        ),
-        None => (0, 0, 0.0, 0),
-    };
-    LBenchResult {
-        kind,
-        threads: cfg.threads,
-        total_ops,
-        throughput: total_ops as f64 / window_s,
-        acquisitions,
-        migrations,
-        // Data-line misses plus the lock-word transfer on each migration.
-        misses_per_cs: if acquisitions > 0 {
-            (remote_misses + migrations) as f64 / acquisitions as f64
-        } else {
-            0.0
-        },
-        mean_batch: if migrations > 0 {
-            acquisitions as f64 / migrations as f64
-        } else {
-            acquisitions as f64
-        },
-        aborts,
-        abort_rate: if total_ops + aborts > 0 {
-            aborts as f64 / (total_ops + aborts) as f64
-        } else {
-            0.0
-        },
-        stddev_pct,
-        policy: lock.policy_label(),
-        tenures,
-        local_handoffs,
-        mean_streak,
-        max_streak,
-        migrations_per_tenure: if tenures > 0 {
-            migrations as f64 / tenures as f64
-        } else {
-            0.0
-        },
-        batch_hist: handoff.batches().snapshot().to_vec(),
-        per_thread_ops,
-        wall: started.elapsed(),
-    }
+    run_scenario_on(
+        AnyLockKind::Excl(kind),
+        Arc::new(MutexAsRw::new(lock)),
+        topo,
+        &Scenario::from_exclusive_config(cfg),
+        cfg,
+    )
+    .into_lbench()
 }
 
 // ---------------------------------------------------------------------------
@@ -455,167 +275,16 @@ pub struct RwBenchResult {
 /// handoff channel (concurrent readers serialize on nothing), while
 /// writes — and reads on a lock whose read side is secretly exclusive
 /// ([`read_is_exclusive`](crate::BenchRwLock::read_is_exclusive)) — are
-/// charged through it.
+/// charged through it. Compatibility wrapper over [`run_scenario`].
 pub fn run_rw_lbench(kind: RwLockKind, cfg: &LBenchConfig) -> RwBenchResult {
     assert!(cfg.read_pct <= 100, "read_pct is a percentage");
-    let topo = Arc::new(Topology::new(cfg.clusters));
-    let lock = kind.make(&topo, cfg.policy);
-    let dir = Arc::new(Directory::new(cfg.cs_lines.max(1), cfg.cost));
-    let handoff = Arc::new(HandoffChannel::new(cfg.cost));
-    let stop = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(cfg.threads));
-    let started = Instant::now();
-    let serial_reads = lock.read_is_exclusive();
-
-    let handles: Vec<_> = (0..cfg.threads)
-        .map(|i| {
-            let topo = Arc::clone(&topo);
-            let lock = Arc::clone(&lock);
-            let dir = Arc::clone(&dir);
-            let handoff = Arc::clone(&handoff);
-            let stop = Arc::clone(&stop);
-            let barrier = Arc::clone(&barrier);
-            let cfg = cfg.clone();
-            std::thread::spawn(move || {
-                let my_cluster = cluster_for(i, &cfg);
-                bind_current_thread(&topo, my_cluster);
-                vclock::reset();
-                take_thread_stats();
-                let mut rng = StdRng::seed_from_u64(0x5EED ^ i as u64);
-                let kappa = if cfg.pace_wall && cfg.mode == TimeMode::Virtual {
-                    cfg.pace_scale.unwrap_or_else(|| kappa_for(cfg.threads))
-                } else {
-                    1
-                };
-                let mut reads = 0u64;
-                let mut writes = 0u64;
-                barrier.wait();
-                let wall_start = Instant::now();
-                let mut check = 0u32;
-                while !stop.load(Ordering::Relaxed) {
-                    let is_read = rng.gen_range(0u32..100) < cfg.read_pct;
-                    // Serialization is modelled through the handoff
-                    // channel only where the lock actually serializes.
-                    let charge_handoff = !is_read || serial_reads;
-                    if is_read {
-                        lock.acquire_read();
-                    } else {
-                        lock.acquire_write();
-                    }
-
-                    // ----- critical section -----
-                    if charge_handoff {
-                        handoff.on_acquire(my_cluster);
-                    }
-                    let cs_start = vclock::now();
-                    // Touch the shared lines: reads share them, writes
-                    // take them exclusive — in virtual mode the directory
-                    // charges the coherence cost, in wall mode the
-                    // hardware does the work.
-                    for line in 0..cfg.cs_lines {
-                        if is_read {
-                            dir.read(line, my_cluster);
-                        } else {
-                            dir.write(line, my_cluster);
-                        }
-                    }
-                    if cfg.mode == TimeMode::Virtual {
-                        vclock::advance(cfg.cs_extra_ns);
-                        if cfg.pace_wall {
-                            let charged = vclock::now().saturating_sub(cs_start);
-                            spin_wall((charged * kappa).min(50_000), true);
-                        }
-                        if vclock::now() >= cfg.window_ns {
-                            stop.store(true, Ordering::Relaxed);
-                        }
-                    }
-                    if charge_handoff {
-                        handoff.on_release(my_cluster);
-                    }
-                    if is_read {
-                        lock.release_read();
-                        reads += 1;
-                    } else {
-                        lock.release_write();
-                        writes += 1;
-                    }
-
-                    // ----- non-critical section -----
-                    let idle = rng.gen_range(0..=cfg.noncs_max_ns);
-                    match cfg.mode {
-                        TimeMode::Virtual => {
-                            vclock::advance(idle);
-                            if cfg.pace_wall {
-                                spin_wall(idle * kappa, true);
-                            }
-                        }
-                        TimeMode::Wall => {
-                            let t0 = Instant::now();
-                            while (t0.elapsed().as_nanos() as u64) < idle {
-                                std::hint::spin_loop();
-                            }
-                            if wall_start.elapsed().as_nanos() >= cfg.window_ns as u128 {
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    }
-
-                    check = check.wrapping_add(1);
-                    if check.is_multiple_of(512) && wall_start.elapsed() > cfg.max_wall {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                }
-                (reads, writes)
-            })
-        })
-        .collect();
-
-    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
-    let mut read_ops = 0u64;
-    let mut write_ops = 0u64;
-    for h in handles {
-        let (r, w) = h.join().expect("rw lbench worker panicked");
-        per_thread_ops.push(r + w);
-        read_ops += r;
-        write_ops += w;
-    }
-    let total_ops = read_ops + write_ops;
-    let window_s = cfg.window_ns as f64 / 1e9;
-    let (_, stddev_pct) = crate::stats::mean_stddev_pct(&per_thread_ops);
-    let cstats = lock.cohort_stats();
-    let (tenures, local_handoffs, mean_streak, max_streak) = match &cstats {
-        Some(s) => (
-            s.tenures(),
-            s.local_handoffs(),
-            s.mean_streak(),
-            s.max_streak(),
-        ),
-        None => (0, 0, 0.0, 0),
-    };
-    RwBenchResult {
-        kind,
-        threads: cfg.threads,
-        read_pct: cfg.read_pct,
-        read_ops,
-        write_ops,
-        total_ops,
-        per_thread_ops,
-        throughput: total_ops as f64 / window_s,
-        exclusive_acquisitions: handoff.acquisitions(),
-        migrations: handoff.migrations(),
-        stddev_pct,
-        policy: lock.policy_label(),
-        tenures,
-        local_handoffs,
-        mean_streak,
-        max_streak,
-        wall: started.elapsed(),
-    }
+    run_scenario(AnyLockKind::Rw(kind), &Scenario::from_rw_config(cfg), cfg).into_rw()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::cluster_for;
 
     fn quick_cfg(threads: usize) -> LBenchConfig {
         LBenchConfig {

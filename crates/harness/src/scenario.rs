@@ -1,0 +1,906 @@
+//! The scenario engine: ONE measurement loop behind every exhibit.
+//!
+//! The paper's evaluation (§4) is a fixed grid of steady-state workloads;
+//! this repository's exhibits kept growing past it (read/write mixes,
+//! abortable acquisition, policy sweeps) and each extension used to cost
+//! a parallel driver — `run_lbench` and `run_rw_lbench` were ~200-line
+//! near-duplicates. This module collapses them: a [`Scenario`] *describes*
+//! the per-thread op mix (exclusive / shared-read / abortable-with-
+//! patience) and its [`LoadShape`] over time (steady, bursty on/off,
+//! phased read-ratio schedule, thread-asymmetric idling), and
+//! [`run_scenario`] is the single driver that executes any of them over
+//! any [`AnyLockKind`]. The legacy entry points survive as thin wrappers
+//! (see `runner.rs`), bit-for-bit reproducible against the engine — the
+//! `scenario_parity` integration test pins that.
+//!
+//! Time accounting is unchanged from the original runner (virtual
+//! clocks plus the coherence cost model, wall pacing on oversubscribed
+//! hosts — see `runner.rs` and DESIGN.md §2). The engine additionally
+//! samples **acquisition latency** in modelled nanoseconds: the virtual
+//! time from starting an exclusive acquisition to clearing the handoff
+//! channel's queue-wait catch-up, reported as p50/p99 per run. Shared
+//! read acquisitions serialize on nothing and are not sampled.
+
+use crate::bench_rwlock::BenchRwLock;
+use crate::pace::{kappa_for, spin_wall};
+use crate::registry::AnyLockKind;
+use crate::runner::{LBenchConfig, LBenchResult, Placement, RwBenchResult, TimeMode};
+use coherence_sim::{take_thread_stats, Directory, HandoffChannel};
+use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One segment of a phased read-ratio schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Segment length in virtual nanoseconds.
+    pub dur_ns: u64,
+    /// Read percentage (0–100) in force during the segment.
+    pub read_pct: u32,
+}
+
+/// How the offered load varies over (virtual) time.
+///
+/// Shapes are evaluated against each thread's virtual clock; clocks are
+/// loosely synchronized through the handoff channel's causality catch-up,
+/// so on/off windows and phase boundaries line up across threads to
+/// within a queue-wait. In wall mode shapes degenerate to [`Steady`]
+/// (the wall runner targets real NUMA hosts, where load shaping belongs
+/// to the load generator).
+///
+/// [`Steady`]: LoadShape::Steady
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadShape {
+    /// The paper's shape: every thread offers load for the whole window.
+    Steady,
+    /// Bursty arrival: `on_ns` of load, then `off_ns` of silence,
+    /// repeating. During an off-window threads idle (clock advances to
+    /// the next on-window) instead of contending.
+    Bursty {
+        /// Length of each load burst, virtual nanoseconds.
+        on_ns: u64,
+        /// Length of each silent gap, virtual nanoseconds.
+        off_ns: u64,
+    },
+    /// A repeating read-ratio schedule: the scenario's base `read_pct`
+    /// is overridden by the phase the thread's clock currently falls in.
+    Phased {
+        /// The schedule, cycled for the whole run.
+        phases: Vec<Phase>,
+    },
+}
+
+impl LoadShape {
+    /// Virtual nanoseconds from `now` to the next on-window, or `None`
+    /// when load is admitted at `now`.
+    fn off_gap(&self, now: u64) -> Option<u64> {
+        match *self {
+            LoadShape::Bursty { on_ns, off_ns } if off_ns > 0 => {
+                let period = on_ns + off_ns;
+                let pos = now % period;
+                if pos >= on_ns {
+                    Some(period - pos)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The read percentage in force at virtual time `now` (`base` unless
+    /// a phase schedule overrides it).
+    fn read_pct_at(&self, now: u64, base: u32) -> u32 {
+        match self {
+            LoadShape::Phased { phases } if !phases.is_empty() => {
+                let total: u64 = phases.iter().map(|p| p.dur_ns).sum();
+                if total == 0 {
+                    return base;
+                }
+                let mut pos = now % total;
+                for p in phases {
+                    if pos < p.dur_ns {
+                        return p.read_pct;
+                    }
+                    pos -= p.dur_ns;
+                }
+                base
+            }
+            _ => base,
+        }
+    }
+
+    /// Short label for CSV rows (`steady` / `bursty` / `phased`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadShape::Steady => "steady",
+            LoadShape::Bursty { .. } => "bursty",
+            LoadShape::Phased { .. } => "phased",
+        }
+    }
+}
+
+/// What each thread *does* per iteration: the op mix and its shape over
+/// time. Consumed by [`run_scenario`]; grid-level knobs (thread count,
+/// clusters, window, cost model) stay in [`LBenchConfig`].
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Base percentage of operations taking the shared-read side (0–100;
+    /// a [`LoadShape::Phased`] schedule overrides it per phase). Against
+    /// an exclusive kind, "reads" still serialize — the engine detects
+    /// that via [`BenchRwLock::read_is_exclusive`] and charges them
+    /// through the handoff channel.
+    pub read_pct: u32,
+    /// `Some(patience)` makes **write** acquisitions abortable with the
+    /// given virtual-nanosecond patience (Figure 6's mode). Locks without
+    /// abort support simply block.
+    pub patience_ns: Option<u64>,
+    /// Load shape over time.
+    pub shape: LoadShape,
+    /// Thread-asymmetry knob: thread `i`'s non-critical idle bound is
+    /// scaled by `1 + asymmetry · i/(threads-1)`. `0.0` (the default) is
+    /// the paper's symmetric load; large values thin the offered load
+    /// down to a few hot threads — the light-contention regime where
+    /// simple locks (TATAS) historically beat NUMA-aware ones.
+    pub asymmetry: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            read_pct: 0,
+            patience_ns: None,
+            shape: LoadShape::Steady,
+            asymmetry: 0.0,
+        }
+    }
+}
+
+impl Scenario {
+    /// The paper's scenario: steady, symmetric, exclusive-only.
+    pub fn steady() -> Self {
+        Scenario::default()
+    }
+
+    /// Steady scenario with a bursty on/off arrival shape (panics on an
+    /// empty on-window, which would admit no load at all).
+    pub fn bursty(on_ns: u64, off_ns: u64) -> Self {
+        assert!(on_ns > 0, "bursty scenarios need a non-empty on-window");
+        Scenario {
+            shape: LoadShape::Bursty { on_ns, off_ns },
+            ..Scenario::default()
+        }
+    }
+
+    /// Scenario cycling through a phased read-ratio schedule (panics if
+    /// any phase's read percentage exceeds 100).
+    pub fn phased(phases: Vec<Phase>) -> Self {
+        assert!(
+            phases.iter().all(|p| p.read_pct <= 100),
+            "phase read_pct is a percentage"
+        );
+        Scenario {
+            shape: LoadShape::Phased { phases },
+            ..Scenario::default()
+        }
+    }
+
+    /// Sets the base read percentage (panics if over 100).
+    pub fn with_read_pct(mut self, read_pct: u32) -> Self {
+        assert!(read_pct <= 100, "read_pct is a percentage");
+        self.read_pct = read_pct;
+        self
+    }
+
+    /// Makes write acquisitions abortable with `patience_ns` of patience.
+    pub fn with_patience(mut self, patience_ns: u64) -> Self {
+        self.patience_ns = Some(patience_ns);
+        self
+    }
+
+    /// Sets the thread-asymmetry knob (see [`Scenario::asymmetry`]).
+    pub fn with_asymmetry(mut self, asymmetry: f64) -> Self {
+        assert!(asymmetry >= 0.0, "asymmetry scales idle time up");
+        self.asymmetry = asymmetry;
+        self
+    }
+
+    /// The wrapper scenario [`run_lbench`](crate::run_lbench) submits:
+    /// exclusive-only, steady, patience from the legacy config field.
+    pub fn from_exclusive_config(cfg: &LBenchConfig) -> Self {
+        Scenario {
+            patience_ns: cfg.patience_ns,
+            ..Scenario::default()
+        }
+    }
+
+    /// The wrapper scenario [`run_rw_lbench`](crate::run_rw_lbench)
+    /// submits: steady `read_pct` mix from the legacy config field.
+    pub fn from_rw_config(cfg: &LBenchConfig) -> Self {
+        Scenario {
+            read_pct: cfg.read_pct,
+            ..Scenario::default()
+        }
+    }
+
+    /// Whether any part of the scenario can produce a read op.
+    fn uses_reads(&self) -> bool {
+        self.read_pct > 0
+            || matches!(&self.shape, LoadShape::Phased { phases }
+                if phases.iter().any(|p| p.read_pct > 0))
+    }
+
+    /// Whether the worker draws the per-op read/write coin. RW kinds
+    /// always draw (the legacy RW driver did, even at `read_pct = 0` —
+    /// parity demands the identical RNG sequence); exclusive kinds draw
+    /// only when the scenario can actually produce reads, preserving the
+    /// legacy exclusive driver's RNG sequence.
+    fn draws_coin(&self, kind: AnyLockKind) -> bool {
+        matches!(kind, AnyLockKind::Rw(_)) || self.uses_reads()
+    }
+
+    /// Thread `i`'s non-critical idle bound under the asymmetry knob.
+    fn noncs_max_for(&self, i: usize, threads: usize, base_ns: u64) -> u64 {
+        if self.asymmetry == 0.0 || threads <= 1 {
+            return base_ns;
+        }
+        let frac = i as f64 / (threads - 1) as f64;
+        (base_ns as f64 * (1.0 + self.asymmetry * frac)) as u64
+    }
+}
+
+/// Everything one scenario run measures: the union of the legacy
+/// exclusive and RW result surfaces, plus modelled acquisition-latency
+/// percentiles. Convert to the legacy structs with
+/// [`into_lbench`](ScenarioResult::into_lbench) /
+/// [`into_rw`](ScenarioResult::into_rw).
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Lock under test.
+    pub kind: AnyLockKind,
+    /// Thread count of the run.
+    pub threads: usize,
+    /// Base read percentage the scenario was configured with.
+    pub read_pct: u32,
+    /// Critical sections completed, per thread (fairness data).
+    pub per_thread_ops: Vec<u64>,
+    /// Read-side critical sections completed.
+    pub read_ops: u64,
+    /// Write-side critical sections completed.
+    pub write_ops: u64,
+    /// All critical sections completed.
+    pub total_ops: u64,
+    /// Critical+non-critical pairs per second of modelled time.
+    pub throughput: f64,
+    /// Exclusive acquisitions observed by the handoff channel (writes,
+    /// plus reads when the lock's read side is exclusive).
+    pub acquisitions: u64,
+    /// Cross-cluster migrations of the exclusive lock.
+    pub migrations: u64,
+    /// Coherence misses per critical section — data lines plus the lock
+    /// handoff itself.
+    pub misses_per_cs: f64,
+    /// Mean same-cluster batch length (§4.1.2's dynamic batching).
+    pub mean_batch: f64,
+    /// Timed-out acquisitions (abortable scenarios).
+    pub aborts: u64,
+    /// aborts / attempts (the paper keeps this below 1%).
+    pub abort_rate: f64,
+    /// Standard deviation of per-thread throughput as % of mean.
+    pub stddev_pct: f64,
+    /// Handoff-policy label of the run (`None` for non-policy locks).
+    pub policy: Option<String>,
+    /// Cohort tenures — 0 for non-cohort locks.
+    pub tenures: u64,
+    /// Intra-cluster handoffs — 0 for non-cohort locks.
+    pub local_handoffs: u64,
+    /// Mean local-handoff streak per tenure.
+    pub mean_streak: f64,
+    /// Longest local-handoff streak of any tenure.
+    pub max_streak: u64,
+    /// Cross-cluster migrations per cohort tenure (0 when no tenures).
+    pub migrations_per_tenure: f64,
+    /// Power-of-two histogram of same-cluster batch lengths.
+    pub batch_hist: Vec<u64>,
+    /// Median modelled acquisition latency (exclusive acquisitions, ns).
+    pub lat_p50_ns: u64,
+    /// 99th-percentile modelled acquisition latency (ns).
+    pub lat_p99_ns: u64,
+    /// Real time the run took (diagnostics only).
+    pub wall: Duration,
+}
+
+impl ScenarioResult {
+    /// Converts to the legacy exclusive result (panics on an RW kind —
+    /// the legacy struct cannot name those).
+    pub fn into_lbench(self) -> LBenchResult {
+        let kind = match self.kind {
+            AnyLockKind::Excl(k) => k,
+            AnyLockKind::Rw(k) => panic!("into_lbench on RW kind {k}"),
+        };
+        LBenchResult {
+            kind,
+            threads: self.threads,
+            per_thread_ops: self.per_thread_ops,
+            total_ops: self.total_ops,
+            throughput: self.throughput,
+            acquisitions: self.acquisitions,
+            migrations: self.migrations,
+            misses_per_cs: self.misses_per_cs,
+            mean_batch: self.mean_batch,
+            aborts: self.aborts,
+            abort_rate: self.abort_rate,
+            stddev_pct: self.stddev_pct,
+            policy: self.policy,
+            tenures: self.tenures,
+            local_handoffs: self.local_handoffs,
+            mean_streak: self.mean_streak,
+            max_streak: self.max_streak,
+            migrations_per_tenure: self.migrations_per_tenure,
+            batch_hist: self.batch_hist,
+            wall: self.wall,
+        }
+    }
+
+    /// Converts to the legacy RW result (panics on an exclusive kind).
+    pub fn into_rw(self) -> RwBenchResult {
+        let kind = match self.kind {
+            AnyLockKind::Rw(k) => k,
+            AnyLockKind::Excl(k) => panic!("into_rw on exclusive kind {k}"),
+        };
+        RwBenchResult {
+            kind,
+            threads: self.threads,
+            read_pct: self.read_pct,
+            read_ops: self.read_ops,
+            write_ops: self.write_ops,
+            total_ops: self.total_ops,
+            per_thread_ops: self.per_thread_ops,
+            throughput: self.throughput,
+            exclusive_acquisitions: self.acquisitions,
+            migrations: self.migrations,
+            stddev_pct: self.stddev_pct,
+            policy: self.policy,
+            tenures: self.tenures,
+            local_handoffs: self.local_handoffs,
+            mean_streak: self.mean_streak,
+            max_streak: self.max_streak,
+            wall: self.wall,
+        }
+    }
+
+    /// A result shell for exhibits whose measurements come from an
+    /// external workload driver (kvstore, allocator): only identity,
+    /// throughput, and wall time are meaningful; every modelled counter
+    /// is zero.
+    pub fn external(kind: AnyLockKind, threads: usize, throughput: f64, wall: Duration) -> Self {
+        ScenarioResult {
+            kind,
+            threads,
+            read_pct: 0,
+            per_thread_ops: Vec::new(),
+            read_ops: 0,
+            write_ops: 0,
+            total_ops: 0,
+            throughput,
+            acquisitions: 0,
+            migrations: 0,
+            misses_per_cs: 0.0,
+            mean_batch: 0.0,
+            aborts: 0,
+            abort_rate: 0.0,
+            stddev_pct: 0.0,
+            policy: None,
+            tenures: 0,
+            local_handoffs: 0,
+            mean_streak: 0.0,
+            max_streak: 0,
+            migrations_per_tenure: 0.0,
+            batch_hist: Vec::new(),
+            lat_p50_ns: 0,
+            lat_p99_ns: 0,
+            wall,
+        }
+    }
+}
+
+/// Thread → cluster assignment under `cfg.placement` (shared with the
+/// legacy wrappers' tests).
+pub(crate) fn cluster_for(i: usize, cfg: &LBenchConfig) -> ClusterId {
+    match cfg.placement {
+        Placement::RoundRobin => ClusterId::new((i % cfg.clusters) as u32),
+        Placement::Blocked => {
+            let per = cfg.threads.div_ceil(cfg.clusters).max(1);
+            ClusterId::new(((i / per).min(cfg.clusters - 1)) as u32)
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set (0 for an
+/// empty set).
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Runs `scenario` for `kind` under `cfg` — the single sweep engine.
+///
+/// The op mix, patience, and load shape come from `scenario`; the
+/// legacy `cfg.read_pct` / `cfg.patience_ns` fields are wrapper inputs
+/// and are **not** consulted here.
+pub fn run_scenario(kind: AnyLockKind, scenario: &Scenario, cfg: &LBenchConfig) -> ScenarioResult {
+    let topo = Arc::new(Topology::new(cfg.clusters));
+    let lock = kind.make(&topo, cfg.policy);
+    run_scenario_on(kind, lock, topo, scenario, cfg)
+}
+
+/// Runs `scenario` against an already-constructed lock (used by
+/// ablations that build locks with bespoke compositions).
+pub fn run_scenario_on(
+    kind: AnyLockKind,
+    lock: Arc<dyn BenchRwLock>,
+    topo: Arc<Topology>,
+    scenario: &Scenario,
+    cfg: &LBenchConfig,
+) -> ScenarioResult {
+    assert!(cfg.threads >= 1);
+    assert!(scenario.read_pct <= 100, "read_pct is a percentage");
+    // Guard hand-built shapes too (the constructors already validate):
+    // an over-100 phase would silently become all-reads, an empty
+    // on-window a zero-op run.
+    match &scenario.shape {
+        LoadShape::Phased { phases } => assert!(
+            phases.iter().all(|p| p.read_pct <= 100),
+            "phase read_pct is a percentage"
+        ),
+        LoadShape::Bursty { on_ns, .. } => {
+            assert!(*on_ns > 0, "bursty scenarios need a non-empty on-window")
+        }
+        LoadShape::Steady => {}
+    }
+    let dir = Arc::new(Directory::new(cfg.cs_lines.max(1), cfg.cost));
+    let handoff = Arc::new(HandoffChannel::new(cfg.cost));
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads));
+    let started = Instant::now();
+    let serial_reads = lock.read_is_exclusive();
+    let draws_coin = scenario.draws_coin(kind);
+
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|i| {
+            let topo = Arc::clone(&topo);
+            let lock = Arc::clone(&lock);
+            let dir = Arc::clone(&dir);
+            let handoff = Arc::clone(&handoff);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let cfg = cfg.clone();
+            let scenario = scenario.clone();
+            std::thread::spawn(move || {
+                let my_cluster = cluster_for(i, &cfg);
+                bind_current_thread(&topo, my_cluster);
+                vclock::reset();
+                take_thread_stats();
+                let mut rng = StdRng::seed_from_u64(0x5EED ^ i as u64);
+                // Pacing multiplier (see `LBenchConfig::pace_scale`).
+                let kappa = if cfg.pace_wall && cfg.mode == TimeMode::Virtual {
+                    cfg.pace_scale.unwrap_or_else(|| kappa_for(cfg.threads))
+                } else {
+                    1
+                };
+                let noncs_max = scenario.noncs_max_for(i, cfg.threads, cfg.noncs_max_ns);
+                let mut reads = 0u64;
+                let mut writes = 0u64;
+                let mut aborts = 0u64;
+                let mut lat = Vec::new();
+                barrier.wait();
+                let wall_start = Instant::now();
+                let mut check = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    // ----- load-shape gating (virtual mode) -----
+                    if cfg.mode == TimeMode::Virtual {
+                        if let Some(gap) = scenario.shape.off_gap(vclock::now()) {
+                            vclock::advance(gap);
+                            if cfg.pace_wall {
+                                // Stay silent for the paced gap (capped:
+                                // exact pacing matters less while not
+                                // interacting with the lock).
+                                spin_wall((gap * kappa).min(200_000), true);
+                            }
+                            if vclock::now() >= cfg.window_ns {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            check = check.wrapping_add(1);
+                            if check.is_multiple_of(512) && wall_start.elapsed() > cfg.max_wall {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            continue;
+                        }
+                    }
+
+                    // ----- per-op mix decision -----
+                    let cur_pct = if cfg.mode == TimeMode::Virtual {
+                        scenario.shape.read_pct_at(vclock::now(), scenario.read_pct)
+                    } else {
+                        scenario.read_pct
+                    };
+                    let is_read = draws_coin && rng.gen_range(0u32..100) < cur_pct;
+
+                    // ----- acquire (possibly abortable) -----
+                    let lat_from = vclock::now();
+                    if is_read {
+                        lock.acquire_read();
+                    } else {
+                        match scenario.patience_ns {
+                            None => lock.acquire_write(),
+                            Some(p) => {
+                                // Patience is virtual; scale it into the
+                                // paced wall-time frame waiters live in.
+                                if !lock.acquire_write_with_patience(p * kappa) {
+                                    aborts += 1;
+                                    if cfg.mode == TimeMode::Virtual {
+                                        // The wait consumed the patience.
+                                        vclock::advance(p);
+                                        if vclock::now() >= cfg.window_ns {
+                                            stop.store(true, Ordering::Relaxed);
+                                        }
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+
+                    // Serialization is modelled through the handoff
+                    // channel only where the lock actually serializes.
+                    let charge_handoff = !is_read || serial_reads;
+
+                    // ----- critical section -----
+                    match cfg.mode {
+                        TimeMode::Virtual => {
+                            if charge_handoff {
+                                handoff.on_acquire(my_cluster);
+                                // Queue wait + handoff transfer, in
+                                // modelled ns: the acquisition latency.
+                                lat.push(vclock::now().saturating_sub(lat_from));
+                            }
+                            // Measure only the critical-section work, not
+                            // the catch-up on_acquire applied.
+                            let cs_start = vclock::now();
+                            for line in 0..cfg.cs_lines {
+                                if is_read {
+                                    dir.read(line, my_cluster);
+                                } else {
+                                    dir.write(line, my_cluster);
+                                }
+                            }
+                            vclock::advance(cfg.cs_extra_ns);
+                            if cfg.pace_wall {
+                                // Hold the lock for κ× the modelled CS
+                                // duration of wall time, yielding while
+                                // holding: the window in which peers run,
+                                // observe the held lock, and enqueue.
+                                let charged = vclock::now().saturating_sub(cs_start);
+                                spin_wall((charged * kappa).min(50_000), true);
+                            }
+                            for _ in 0..cfg.cs_yields {
+                                std::thread::yield_now();
+                            }
+                            if vclock::now() >= cfg.window_ns {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            if charge_handoff {
+                                handoff.on_release(my_cluster);
+                            }
+                        }
+                        TimeMode::Wall => {
+                            if charge_handoff {
+                                handoff.on_acquire(my_cluster);
+                            }
+                            // Touch real shared state so the hardware
+                            // does the coherence work.
+                            for line in 0..cfg.cs_lines {
+                                if is_read {
+                                    dir.read(line, my_cluster);
+                                } else {
+                                    dir.write(line, my_cluster);
+                                }
+                            }
+                            if charge_handoff {
+                                handoff.on_release(my_cluster);
+                            }
+                        }
+                    }
+                    if is_read {
+                        lock.release_read();
+                        reads += 1;
+                    } else {
+                        lock.release_write();
+                        writes += 1;
+                    }
+
+                    // ----- non-critical section -----
+                    let idle = rng.gen_range(0..=noncs_max);
+                    match cfg.mode {
+                        TimeMode::Virtual => {
+                            vclock::advance(idle);
+                            if cfg.pace_wall {
+                                // Stay away from the lock for the paced
+                                // duration (yield so peers run meanwhile).
+                                spin_wall(idle * kappa, true);
+                            }
+                        }
+                        TimeMode::Wall => {
+                            let t0 = Instant::now();
+                            while (t0.elapsed().as_nanos() as u64) < idle {
+                                std::hint::spin_loop();
+                            }
+                            if wall_start.elapsed().as_nanos() >= cfg.window_ns as u128 {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+
+                    // Wall-clock safety net.
+                    check = check.wrapping_add(1);
+                    if check.is_multiple_of(512) && wall_start.elapsed() > cfg.max_wall {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                (reads, writes, aborts, lat, take_thread_stats())
+            })
+        })
+        .collect();
+
+    let mut per_thread_ops = Vec::with_capacity(cfg.threads);
+    let mut read_ops = 0u64;
+    let mut write_ops = 0u64;
+    let mut aborts = 0u64;
+    let mut remote_misses = 0u64;
+    let mut lat = Vec::new();
+    for h in handles {
+        let (r, w, ab, thread_lat, stats) = h.join().expect("scenario worker panicked");
+        per_thread_ops.push(r + w);
+        read_ops += r;
+        write_ops += w;
+        aborts += ab;
+        remote_misses += stats.remote_misses;
+        lat.extend(thread_lat);
+    }
+    lat.sort_unstable();
+
+    let total_ops = read_ops + write_ops;
+    let acquisitions = handoff.acquisitions();
+    let migrations = handoff.migrations();
+    let window_s = cfg.window_ns as f64 / 1e9;
+    let (_, stddev_pct) = crate::stats::mean_stddev_pct(&per_thread_ops);
+    // Tenure statistics from the policy's counters (zeros for locks
+    // without a tenure notion).
+    let cstats = lock.cohort_stats();
+    let (tenures, local_handoffs, mean_streak, max_streak) = match &cstats {
+        Some(s) => (
+            s.tenures(),
+            s.local_handoffs(),
+            s.mean_streak(),
+            s.max_streak(),
+        ),
+        None => (0, 0, 0.0, 0),
+    };
+    ScenarioResult {
+        kind,
+        threads: cfg.threads,
+        read_pct: scenario.read_pct,
+        read_ops,
+        write_ops,
+        total_ops,
+        throughput: total_ops as f64 / window_s,
+        acquisitions,
+        migrations,
+        // Data-line misses plus the lock-word transfer on each migration.
+        misses_per_cs: if acquisitions > 0 {
+            (remote_misses + migrations) as f64 / acquisitions as f64
+        } else {
+            0.0
+        },
+        mean_batch: if migrations > 0 {
+            acquisitions as f64 / migrations as f64
+        } else {
+            acquisitions as f64
+        },
+        aborts,
+        abort_rate: if total_ops + aborts > 0 {
+            aborts as f64 / (total_ops + aborts) as f64
+        } else {
+            0.0
+        },
+        stddev_pct,
+        policy: lock.policy_label(),
+        tenures,
+        local_handoffs,
+        mean_streak,
+        max_streak,
+        migrations_per_tenure: if tenures > 0 {
+            migrations as f64 / tenures as f64
+        } else {
+            0.0
+        },
+        batch_hist: handoff.batches().snapshot().to_vec(),
+        lat_p50_ns: percentile(&lat, 50.0),
+        lat_p99_ns: percentile(&lat, 99.0),
+        per_thread_ops,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{LockKind, RwLockKind};
+
+    fn quick_cfg(threads: usize) -> LBenchConfig {
+        LBenchConfig {
+            threads,
+            window_ns: 2_000_000, // 2 ms virtual: fast tests
+            max_wall: Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shapes_gate_and_schedule() {
+        let bursty = LoadShape::Bursty {
+            on_ns: 100,
+            off_ns: 50,
+        };
+        assert_eq!(bursty.off_gap(0), None);
+        assert_eq!(bursty.off_gap(99), None);
+        assert_eq!(bursty.off_gap(100), Some(50));
+        assert_eq!(bursty.off_gap(149), Some(1));
+        assert_eq!(bursty.off_gap(150), None); // next period
+        assert_eq!(LoadShape::Steady.off_gap(123), None);
+
+        let phased = LoadShape::Phased {
+            phases: vec![
+                Phase {
+                    dur_ns: 100,
+                    read_pct: 90,
+                },
+                Phase {
+                    dur_ns: 50,
+                    read_pct: 10,
+                },
+            ],
+        };
+        assert_eq!(phased.read_pct_at(0, 0), 90);
+        assert_eq!(phased.read_pct_at(99, 0), 90);
+        assert_eq!(phased.read_pct_at(100, 0), 10);
+        assert_eq!(phased.read_pct_at(150, 0), 90); // cycles
+        assert_eq!(LoadShape::Steady.read_pct_at(5, 42), 42);
+        assert_eq!(phased.off_gap(123), None, "phases never gate load");
+    }
+
+    #[test]
+    fn asymmetry_scales_idle_bounds() {
+        let s = Scenario::steady().with_asymmetry(3.0);
+        assert_eq!(s.noncs_max_for(0, 4, 4000), 4000, "thread 0 unscaled");
+        assert_eq!(s.noncs_max_for(3, 4, 4000), 16000, "last thread 4x");
+        assert_eq!(s.noncs_max_for(0, 1, 4000), 4000, "t=1 degenerate");
+        let sym = Scenario::steady();
+        assert_eq!(sym.noncs_max_for(3, 4, 4000), 4000);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50.0), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 99.0), 4);
+    }
+
+    #[test]
+    fn bursty_run_loses_throughput_to_the_gaps() {
+        // A 50% duty cycle admits load half the time; throughput must
+        // drop visibly against steady load (not exactly 2x — bursts
+        // synchronize arrivals and deepen queues).
+        let cfg = quick_cfg(4);
+        let steady = run_scenario(
+            AnyLockKind::Excl(LockKind::CBoMcs),
+            &Scenario::steady(),
+            &cfg,
+        );
+        let bursty = run_scenario(
+            AnyLockKind::Excl(LockKind::CBoMcs),
+            &Scenario::bursty(100_000, 100_000),
+            &cfg,
+        );
+        assert!(bursty.total_ops > 0);
+        assert!(
+            bursty.throughput < 0.8 * steady.throughput,
+            "bursty {:.0} should trail steady {:.0}",
+            bursty.throughput,
+            steady.throughput
+        );
+    }
+
+    #[test]
+    fn phased_run_mixes_both_sides() {
+        let cfg = quick_cfg(4);
+        let r = run_scenario(
+            AnyLockKind::Rw(RwLockKind::CRwWpBoMcs),
+            &Scenario::phased(vec![
+                Phase {
+                    dur_ns: 200_000,
+                    read_pct: 100,
+                },
+                Phase {
+                    dur_ns: 200_000,
+                    read_pct: 0,
+                },
+            ]),
+            &cfg,
+        );
+        assert!(r.read_ops > 0, "read phases produce reads");
+        assert!(r.write_ops > 0, "write phases produce writes");
+        assert_eq!(r.total_ops, r.read_ops + r.write_ops);
+    }
+
+    #[test]
+    fn asymmetric_run_skews_per_thread_ops() {
+        let mut cfg = quick_cfg(4);
+        cfg.noncs_max_ns = 8_000;
+        let r = run_scenario(
+            AnyLockKind::Excl(LockKind::Ticket),
+            &Scenario::steady().with_asymmetry(16.0),
+            &cfg,
+        );
+        // Thread 0 keeps the paper's idle bound; the last thread idles up
+        // to 17x longer, so it must complete visibly fewer ops.
+        assert!(
+            r.per_thread_ops[0] > 2 * r.per_thread_ops[3],
+            "asymmetry should skew ops: {:?}",
+            r.per_thread_ops
+        );
+    }
+
+    #[test]
+    fn abortable_scenario_counts_aborts() {
+        let cfg = quick_cfg(4);
+        let r = run_scenario(
+            AnyLockKind::Excl(LockKind::ACBoClh),
+            &Scenario::steady().with_patience(50_000),
+            &cfg,
+        );
+        assert!(r.total_ops > 0);
+        assert!(r.abort_rate >= 0.0 && r.abort_rate <= 1.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_sane() {
+        let r = run_scenario(
+            AnyLockKind::Excl(LockKind::Mcs),
+            &Scenario::steady(),
+            &quick_cfg(4),
+        );
+        assert!(r.lat_p50_ns > 0, "contended acquisitions have latency");
+        assert!(r.lat_p99_ns >= r.lat_p50_ns);
+
+        // Shared reads serialize on nothing and are not sampled: a
+        // read-only RW run reports zero acquisition latency.
+        let mut cfg = quick_cfg(2);
+        cfg.read_pct = 100; // legacy field unused by the engine...
+        let ro = run_scenario(
+            AnyLockKind::Rw(RwLockKind::CRwNeutralBoMcs),
+            &Scenario::steady().with_read_pct(100), // ...the scenario rules
+            &cfg,
+        );
+        assert_eq!(ro.acquisitions, 0);
+        assert_eq!(ro.lat_p50_ns, 0);
+        assert_eq!(ro.lat_p99_ns, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration: the legacy drivers are *exact* wrappers over the
+//! scenario engine.
+//!
+//! `run_lbench` / `run_rw_lbench` survived the scenario refactor as thin
+//! compatibility shims; this parity matrix pins that they reproduce the
+//! engine's numbers — same seed ⇒ identical `total_ops`, throughput, and
+//! migrations — for representative exclusive, reader-writer, and
+//! abortable cells.
+//!
+//! Exactness needs determinism, and multi-threaded runs are only
+//! *statistically* stable (the stop flag races real scheduling). The
+//! single-thread cells below are fully deterministic — one seeded RNG,
+//! virtual time only — so the wrapper and a hand-built [`Scenario`] must
+//! agree to the bit. A multi-thread cell then checks the aggregate
+//! invariants that survive scheduling noise.
+
+use lbench::{
+    run_lbench, run_rw_lbench, run_scenario, AnyLockKind, LBenchConfig, LockKind, RwLockKind,
+    Scenario,
+};
+use std::time::Duration;
+
+fn cfg(threads: usize) -> LBenchConfig {
+    LBenchConfig {
+        threads,
+        window_ns: 2_000_000, // 2 ms virtual
+        max_wall: Duration::from_secs(30),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn exclusive_wrapper_matches_engine_exactly() {
+    for kind in [LockKind::Mcs, LockKind::CBoMcs, LockKind::Cna] {
+        let cfg = cfg(1);
+        let legacy = run_lbench(kind, &cfg);
+        let engine = run_scenario(
+            AnyLockKind::Excl(kind),
+            &Scenario::from_exclusive_config(&cfg),
+            &cfg,
+        );
+        assert_eq!(legacy.total_ops, engine.total_ops, "{kind}");
+        assert_eq!(legacy.throughput, engine.throughput, "{kind}");
+        assert_eq!(legacy.migrations, engine.migrations, "{kind}");
+        assert_eq!(legacy.acquisitions, engine.acquisitions, "{kind}");
+        assert_eq!(legacy.per_thread_ops, engine.per_thread_ops, "{kind}");
+        assert_eq!(legacy.tenures, engine.tenures, "{kind}");
+        assert_eq!(legacy.local_handoffs, engine.local_handoffs, "{kind}");
+        assert_eq!(legacy.policy, engine.policy, "{kind}");
+    }
+}
+
+#[test]
+fn rw_wrapper_matches_engine_exactly() {
+    for kind in [RwLockKind::CRwWpBoMcs, RwLockKind::StdRw] {
+        let mut c = cfg(1);
+        c.read_pct = 50;
+        let legacy = run_rw_lbench(kind, &c);
+        let engine = run_scenario(AnyLockKind::Rw(kind), &Scenario::from_rw_config(&c), &c);
+        assert_eq!(legacy.total_ops, engine.total_ops, "{kind}");
+        assert_eq!(legacy.read_ops, engine.read_ops, "{kind}");
+        assert_eq!(legacy.write_ops, engine.write_ops, "{kind}");
+        assert_eq!(legacy.throughput, engine.throughput, "{kind}");
+        assert_eq!(legacy.migrations, engine.migrations, "{kind}");
+        assert_eq!(legacy.exclusive_acquisitions, engine.acquisitions, "{kind}");
+        assert_eq!(legacy.per_thread_ops, engine.per_thread_ops, "{kind}");
+    }
+}
+
+#[test]
+fn abortable_wrapper_matches_engine_exactly() {
+    let mut c = cfg(1);
+    c.patience_ns = Some(500_000);
+    let legacy = run_lbench(LockKind::ACBoClh, &c);
+    let engine = run_scenario(
+        AnyLockKind::Excl(LockKind::ACBoClh),
+        &Scenario::from_exclusive_config(&c),
+        &c,
+    );
+    // Uncontended abortable acquisition never times out, so the cell is
+    // deterministic too.
+    assert_eq!(legacy.aborts, 0);
+    assert_eq!(legacy.total_ops, engine.total_ops);
+    assert_eq!(legacy.throughput, engine.throughput);
+    assert_eq!(legacy.aborts, engine.aborts);
+    assert_eq!(legacy.abort_rate, engine.abort_rate);
+}
+
+#[test]
+fn single_thread_runs_are_reproducible_at_all() {
+    // The premise of the exact-parity cells above: the same seed really
+    // does reproduce the same run when one thread eliminates scheduling.
+    let c = cfg(1);
+    let a = run_lbench(LockKind::Ticket, &c);
+    let b = run_lbench(LockKind::Ticket, &c);
+    assert_eq!(a.total_ops, b.total_ops);
+    assert_eq!(a.throughput, b.throughput);
+}
+
+#[test]
+fn multi_thread_wrapper_preserves_aggregate_invariants() {
+    // Multi-threaded cells race real scheduling, so exact equality is
+    // out; the wrapper must still deliver a structurally consistent
+    // LBenchResult from the engine's ScenarioResult.
+    let c = cfg(4);
+    let r = run_lbench(LockKind::CTktMcs, &c);
+    assert_eq!(r.total_ops, r.per_thread_ops.iter().sum::<u64>());
+    assert!(r.acquisitions >= r.total_ops);
+    assert_eq!(r.tenures + r.local_handoffs, r.total_ops);
+    assert_eq!(r.threads, 4);
+    assert!(r.throughput > 0.0);
+
+    let mut c = cfg(4);
+    c.read_pct = 50;
+    let rw = run_rw_lbench(RwLockKind::CRwWpTktMcs, &c);
+    assert_eq!(rw.total_ops, rw.read_ops + rw.write_ops);
+    assert_eq!(rw.total_ops, rw.per_thread_ops.iter().sum::<u64>());
+    assert_eq!(rw.tenures + rw.local_handoffs, rw.write_ops);
+}
