@@ -1,10 +1,16 @@
-//! Criterion microbenchmarks: uncontended acquire/release latency of every
-//! lock in the registry (real nanoseconds, meaningful on any host).
+//! Criterion microbenchmarks: uncontended acquire/release latency of
+//! **every registered** lock kind (real nanoseconds, meaningful on any
+//! host).
 //!
 //! This is the §4.1.3 concern measured directly: a cohort lock pays for
 //! two acquisitions on its uncontended path; the paper argues (and
 //! Figure 4 shows) that this overhead disappears under non-trivial
-//! critical sections. The numbers here quantify the raw overhead.
+//! critical sections, and the fissile fast path (`Fis-*` kinds) erases
+//! it outright — one CAS when uncontended. Sweeping [`LockKind::ALL`]
+//! keeps every kind's raw overhead measurable per lock, so an
+//! uncontended-overhead regression in any registry entry (including
+//! newly added ones) shows up here instead of hiding behind the
+//! virtual-time harness.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lbench::LockKind;
@@ -14,25 +20,7 @@ use std::sync::Arc;
 fn uncontended(c: &mut Criterion) {
     let topo = Arc::new(Topology::new(4));
     let mut g = c.benchmark_group("uncontended_acquire_release");
-    for kind in [
-        LockKind::Tatas,
-        LockKind::FibBo,
-        LockKind::Ticket,
-        LockKind::Mcs,
-        LockKind::Clh,
-        LockKind::Hbo,
-        LockKind::Hclh,
-        LockKind::FcMcs,
-        LockKind::CBoBo,
-        LockKind::CTktTkt,
-        LockKind::CBoMcs,
-        LockKind::CTktMcs,
-        LockKind::CMcsMcs,
-        LockKind::AClh,
-        LockKind::ACBoBo,
-        LockKind::ACBoClh,
-        LockKind::Pthread,
-    ] {
+    for kind in LockKind::ALL {
         let lock = kind.make(&topo);
         g.bench_function(kind.name(), |b| {
             b.iter(|| {

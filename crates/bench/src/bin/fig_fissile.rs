@@ -1,0 +1,274 @@
+//! Exhibit Fissile: the fast-path graft, across threads × clusters.
+//!
+//! The cohort transformation pays a two-level acquire on every
+//! operation; *Fissile Locks* (Dice & Kogan, arXiv:2003.05025) erase the
+//! uncontended tax by trying a TATAS word first and falling into the
+//! cohort slow path only on failure. This exhibit races, for every
+//! cluster count:
+//!
+//! * `TATAS` — the raw fast path alone (collapses under saturation);
+//! * `MCS` — the NUMA-oblivious queue baseline;
+//! * `C-BO-MCS` — the two-level slow path alone (pays the tax always);
+//! * `Fis-BO-MCS` — the graft: one CAS uncontended, cohort behavior at
+//!   saturation, fast-vs-slow split in the `fast_acqs`/`slow_acqs`
+//!   columns.
+//!
+//! Environment (strict `lbench::env` parsing, like every knob):
+//!
+//! * `LBENCH_FISSILE_CLUSTERS` — comma-separated cluster counts
+//!   (default `1,2,4`);
+//! * `LBENCH_FISSILE_FAST_SPINS` — fast-path probe budget before a
+//!   thread fissions into the slow path (default
+//!   [`FissileTuning::DEFAULT_FAST_ATTEMPTS`]; zero aborts);
+//! * `LBENCH_FISSILE_BYPASS_BOUND` — failed word-claim rounds the
+//!   slow-path holder tolerates before raising the anti-starvation
+//!   fence (default [`FissileTuning::DEFAULT_BYPASS_BOUND`]; zero
+//!   aborts);
+//! * plus the usual `LBENCH_*` knobs and `RESULTS_DIR`.
+//!
+//! The binary **self-checks** the two acceptance shapes of the fissile
+//! design and exits non-zero on failure:
+//!
+//! 1. **uncontended**: at 1 thread, Fis-BO-MCS must hold ≥ 0.95× the
+//!    plain MCS throughput at every swept cluster count — the whole
+//!    point of the fast path is that the NUMA machinery costs nothing
+//!    when nobody contends;
+//! 2. **saturation**: at every swept cluster count ≥ 2 (check cell
+//!    `threads = 8 × clusters` — the lightest cell where the offered
+//!    load reliably saturates the lock; at `2 × clusters` even the pure
+//!    cohort lock holds no edge over TATAS, so a check there measures
+//!    noise), Fis-BO-MCS must hold ≥ the plain TATAS throughput —
+//!    falling into the slow path must buy cohort locality, not just add
+//!    a word.
+
+use cohort::{CountBound, FisBoMcs, FisTktMcs, FissileTuning};
+use cohort_bench::{
+    base_config, exhibit_main, knob_or_die, long_table, metric_table, schema, thread_grid, Cell,
+    Check, Exhibit, Measure, Measurement, TableSpec, FISSILE_UNCONTENDED_FLOOR,
+};
+use lbench::env::{env_positive_u64, env_positive_usize_list};
+use lbench::{
+    run_scenario, run_scenario_on, AnyLockKind, BenchLock, CohortAdapter, LockKind, MutexAsRw,
+    Scenario, ScenarioResult,
+};
+use numa_topology::Topology;
+use std::sync::Arc;
+
+fn fissile_clusters() -> Vec<usize> {
+    knob_or_die(env_positive_usize_list("LBENCH_FISSILE_CLUSTERS")).unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// Fast-path tuning from the environment (defaults are the library's).
+fn tuning() -> FissileTuning {
+    let knob_u32 = |knob: &str, default: u32| -> u32 {
+        knob_or_die(env_positive_u64(knob))
+            .map(|v| v.min(u32::MAX as u64) as u32)
+            .unwrap_or(default)
+    };
+    FissileTuning {
+        fast_attempts: knob_u32(
+            "LBENCH_FISSILE_FAST_SPINS",
+            FissileTuning::DEFAULT_FAST_ATTEMPTS,
+        ),
+        bypass_bound: knob_u32(
+            "LBENCH_FISSILE_BYPASS_BOUND",
+            FissileTuning::DEFAULT_BYPASS_BOUND,
+        ),
+    }
+}
+
+/// Thread grid for one cluster count: the global grid plus the
+/// uncontended cell (1) and the saturation check cell
+/// ([`saturation_threads`]), deduplicated and sorted.
+fn grid_for(clusters: usize) -> Vec<usize> {
+    let mut grid = thread_grid();
+    grid.push(1);
+    grid.push(saturation_threads(clusters));
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+/// The saturation check cell: `8 × clusters`. Below that the offered
+/// load does not reliably saturate the lock in this harness — at
+/// `2 × clusters` even C-BO-MCS holds no edge over TATAS, so the
+/// fissile-vs-TATAS comparison there measures noise rather than the
+/// design.
+fn saturation_threads(clusters: usize) -> usize {
+    8 * clusters
+}
+
+/// One grid cell: a (cluster count, thread count) pair.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct FisCell {
+    clusters: usize,
+    threads: usize,
+}
+
+impl std::fmt::Display for FisCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c={} t={}", self.clusters, self.threads)
+    }
+}
+
+/// Measures one (lock, cell) pair. Non-fissile kinds go through the
+/// plain registry path; the fissile row honors the `LBENCH_FISSILE_*`
+/// tuning knobs by building its lock directly when they deviate from
+/// the library defaults (the registry constructs defaults only).
+fn measure(kind: AnyLockKind, cell: &FisCell) -> ScenarioResult {
+    let mut cfg = base_config(cell.threads);
+    cfg.clusters = cell.clusters;
+    let scenario = Scenario::steady();
+    let tuned = tuning();
+    if tuned != FissileTuning::default() {
+        // Dispatch on the *concrete* kind: the measured lock must be
+        // exactly what the row is labeled as, even if FIG_FISSILE ever
+        // grows a second fissile composition.
+        let topo = Arc::new(Topology::new(cfg.clusters));
+        let bench: Option<Arc<dyn BenchLock>> = match kind {
+            AnyLockKind::Excl(LockKind::FisBoMcs) => Some(Arc::new(CohortAdapter::new(
+                FisBoMcs::with_tuning(Arc::clone(&topo), CountBound::default(), tuned),
+            ))),
+            AnyLockKind::Excl(LockKind::FisTktMcs) => Some(Arc::new(CohortAdapter::new(
+                FisTktMcs::with_tuning(Arc::clone(&topo), CountBound::default(), tuned),
+            ))),
+            _ => None,
+        };
+        if let Some(bench) = bench {
+            return run_scenario_on(kind, Arc::new(MutexAsRw::new(bench)), topo, &scenario, &cfg);
+        }
+    }
+    run_scenario(kind, &scenario, &cfg)
+}
+
+fn find(ms: &[Measurement<FisCell>], cell: FisCell, kind: LockKind) -> &ScenarioResult {
+    &ms.iter()
+        .find(|m| m.cell == cell && m.result.kind == AnyLockKind::Excl(kind))
+        .expect("check cell present")
+        .result
+}
+
+/// Self-check 1: the fast path erases the uncontended two-level tax
+/// (floor shared with the `fig_scenarios` fissile row:
+/// [`FISSILE_UNCONTENDED_FLOOR`]).
+fn uncontended_check(clusters: usize) -> Check<FisCell> {
+    const FLOOR: f64 = FISSILE_UNCONTENDED_FLOOR;
+    Box::new(move |ms: &[Measurement<FisCell>]| {
+        let cell = FisCell {
+            clusters,
+            threads: 1,
+        };
+        let fissile = find(ms, cell, LockKind::FisBoMcs);
+        let mcs = find(ms, cell, LockKind::Mcs);
+        let ratio = fissile.throughput / mcs.throughput.max(1.0);
+        let msg = format!(
+            "Fis-BO-MCS uncontended vs MCS at c={clusters}: {ratio:.3}x (floor {FLOOR}x, \
+             {} fast / {} slow acquisitions)",
+            fissile.fast_acquisitions, fissile.slow_acquisitions
+        );
+        if ratio >= FLOOR {
+            Ok(msg)
+        } else {
+            Err(msg)
+        }
+    })
+}
+
+/// Self-check 2: the slow path buys cohort locality under saturation.
+fn saturation_check(clusters: usize) -> Check<FisCell> {
+    Box::new(move |ms: &[Measurement<FisCell>]| {
+        let cell = FisCell {
+            clusters,
+            threads: saturation_threads(clusters),
+        };
+        let fissile = find(ms, cell, LockKind::FisBoMcs);
+        let tatas = find(ms, cell, LockKind::Tatas);
+        let msg = format!(
+            "Fis-BO-MCS vs TATAS at c={clusters} t={}: {:.2}x ({} vs {} migrations)",
+            cell.threads,
+            fissile.throughput / tatas.throughput.max(1.0),
+            fissile.migrations,
+            tatas.migrations
+        );
+        if fissile.throughput >= tatas.throughput {
+            Ok(msg)
+        } else {
+            Err(msg)
+        }
+    })
+}
+
+fn main() {
+    let cluster_counts = fissile_clusters();
+    let grid: Vec<FisCell> = cluster_counts
+        .iter()
+        .flat_map(|&clusters| {
+            grid_for(clusters)
+                .into_iter()
+                .map(move |threads| FisCell { clusters, threads })
+        })
+        .collect();
+    exhibit_main(Exhibit {
+        name: "fig_fissile",
+        banner: format!(
+            "fig_fissile: {} locks x {:?} clusters, tuning {:?}",
+            LockKind::FIG_FISSILE.len(),
+            cluster_counts,
+            tuning()
+        ),
+        locks: LockKind::FIG_FISSILE
+            .iter()
+            .copied()
+            .map(AnyLockKind::Excl)
+            .collect(),
+        grid,
+        measure: Measure::Custom(Box::new(|kind, cell: &FisCell| measure(kind, cell))),
+        unit: "ops/s",
+        tables: vec![
+            TableSpec {
+                csv: None,
+                text: true,
+                build: metric_table(
+                    "Exhibit Fissile: throughput (ops/s) by clusters x threads".into(),
+                    "cell",
+                    0,
+                    |r| r.throughput,
+                ),
+            },
+            TableSpec {
+                csv: Some("fig_fissile".into()),
+                text: false,
+                build: long_table(schema::FIG_FISSILE_HEADER, |m: &Measurement<FisCell>| {
+                    let r = &m.result;
+                    vec![
+                        Cell::text(r.kind.name()),
+                        Cell::Int(m.cell.clusters as u64),
+                        Cell::Int(r.threads as u64),
+                        Cell::num(r.throughput, 0),
+                        Cell::Int(r.acquisitions),
+                        Cell::Int(r.migrations),
+                        Cell::num(r.misses_per_cs, 4),
+                        Cell::Int(r.tenures),
+                        Cell::Int(r.local_handoffs),
+                        Cell::num(r.mean_streak, 2),
+                        Cell::Int(r.max_streak),
+                        Cell::Int(r.fast_acquisitions),
+                        Cell::Int(r.slow_acquisitions),
+                        Cell::text(r.policy.as_deref().unwrap_or("-")),
+                    ]
+                }),
+            },
+        ],
+        checks: cluster_counts
+            .iter()
+            .map(|&c| uncontended_check(c))
+            .chain(
+                cluster_counts
+                    .iter()
+                    .filter(|&&c| c >= 2)
+                    .map(|&c| saturation_check(c)),
+            )
+            .collect(),
+        epilogue: None,
+    });
+}

@@ -93,6 +93,13 @@ pub fn ablation_threads() -> usize {
     knob_or_die(env_positive_usize("LBENCH_ABLATION_THREADS")).unwrap_or(32)
 }
 
+/// Acceptance floor of a fissile lock's uncontended throughput against
+/// plain MCS — the single source both `fig_fissile` and the
+/// `fig_scenarios` fissile row assert against (the fast path exists to
+/// *erase* the two-level tax, so the floor is near-parity rather than
+/// the paper's 0.75× amortization margin).
+pub const FISSILE_UNCONTENDED_FLOOR: f64 = 0.95;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,6 +39,12 @@ pub const FIG_SCENARIOS_HEADER: &str = "scenario,shape,lock,threads,clusters,rea
 pub const FIG_CNA_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,migrations,\
      misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,policy";
 
+/// Header of `fig_fissile.csv` (written by the `fig_fissile` binary):
+/// the `fig_cna` shape plus the fissile fast-vs-slow acquisition split
+/// (`fast_acqs`/`slow_acqs` — zeros for the non-fissile rows).
+pub const FIG_FISSILE_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,migrations,\
+     misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,fast_acqs,slow_acqs,policy";
+
 /// Header of the policy-sweep CSVs (`ablation_policy.csv`,
 /// `ablation_handoff.csv`; rows built by [`crate::policy_csv_row`]).
 pub const POLICY_HEADER: &str = "lock,policy,threads,throughput,stddev_pct,mean_batch,\
@@ -52,6 +58,7 @@ pub fn expected_header(file_name: &str) -> Option<String> {
     match file_name {
         "fig_rw.csv" => Some(FIG_RW_HEADER.to_string()),
         "fig_cna.csv" => Some(FIG_CNA_HEADER.to_string()),
+        "fig_fissile.csv" => Some(FIG_FISSILE_HEADER.to_string()),
         "fig_scenarios.csv" => Some(FIG_SCENARIOS_HEADER.to_string()),
         "ablation_policy.csv" | "ablation_handoff.csv" => Some(POLICY_HEADER.to_string()),
         "fig2_throughput.csv"
@@ -121,11 +128,20 @@ mod tests {
         for h in [
             FIG_RW_HEADER,
             FIG_CNA_HEADER,
+            FIG_FISSILE_HEADER,
             FIG_SCENARIOS_HEADER,
             POLICY_HEADER,
         ] {
             assert!(!h.contains(' '), "continuation indent leaked: {h}");
         }
+    }
+
+    #[test]
+    fn fissile_header_extends_the_cna_shape() {
+        let fis = expected_header("fig_fissile.csv").unwrap();
+        assert!(fis.starts_with("lock,clusters,threads,"), "{fis}");
+        assert!(fis.contains("fast_acqs,slow_acqs"), "{fis}");
+        assert!(fis.ends_with("policy"), "{fis}");
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //! | [`AcBoBo`]  | BO | abortable BO | 3.6.1 |
 //! | [`AcBoClh`] | BO | abortable CLH, colocated flag | 3.6.2 |
 //!
+//! Beyond the paper's compositions, the [`fast_path`] module grafts a
+//! TATAS **fast path** onto the cohort slow path in the style of
+//! *Fissile Locks* (Dice & Kogan): [`FissileLock<G, L, P>`] makes the
+//! uncontended acquire a single CAS while saturation still gets full
+//! cohort behavior (aliases [`FisBoMcs`], [`FisTktMcs`]).
+//!
 //! Beyond the paper's mutual-exclusion locks, the [`rwlock`] module
 //! applies the transformation to **reader-writer** locks in the style of
 //! the paper's follow-on work (*NUMA-Aware Reader-Writer Locks*, PPoPP
@@ -73,6 +79,7 @@
 #![deny(missing_docs)]
 
 mod abortable;
+pub mod fast_path;
 mod global;
 mod local_abo;
 mod local_aclh;
@@ -84,6 +91,7 @@ pub mod policy;
 pub mod rwlock;
 mod traits;
 
+pub use fast_path::{FissileLock, FissileToken, FissileTuning};
 pub use global::GlobalBoLock;
 pub use local_abo::LocalAboLock;
 pub use local_aclh::{AClhToken, LocalAClhLock};
@@ -143,6 +151,15 @@ pub type CRwBoMcs = CohortRwLock<GlobalBoLock, LocalMcsLock>;
 /// C-RW-TKT-MCS: the cohort reader-writer lock with a ticket global lock
 /// on the writer side.
 pub type CRwTktMcs = CohortRwLock<TicketLock, LocalMcsLock>;
+
+/// Fis-BO-MCS: the fissile fast-path lock over [`CBoMcs`] — a TATAS word
+/// tried first, the paper's best cohort composition underneath (see
+/// [`fast_path`]). Uncontended acquisition is one CAS; saturation gets
+/// full cohort behavior.
+pub type FisBoMcs = FissileLock<GlobalBoLock, LocalMcsLock>;
+
+/// Fis-TKT-MCS: the fissile fast-path lock over [`CTktMcs`].
+pub type FisTktMcs = FissileLock<TicketLock, LocalMcsLock>;
 
 #[cfg(test)]
 mod tests {
@@ -224,6 +241,18 @@ mod tests {
     fn c_park_mcs_mutual_exclusion() {
         // The blocking-global composition.
         stress(CParkMcs::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn fis_bo_mcs_mutual_exclusion() {
+        // The fissile fast-path composition: exclusion must hold across
+        // mixed fast/slow acquisitions.
+        stress(FisBoMcs::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn fis_tkt_mcs_mutual_exclusion() {
+        stress(FisTktMcs::new(topo()), 4, 1_500);
     }
 
     #[test]

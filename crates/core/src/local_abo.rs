@@ -61,19 +61,37 @@ impl LocalAboLock {
     fn acquire(&self, deadline: Option<Instant>) -> LocalAbortResult<()> {
         let mut bo = Backoff::new(self.cfg);
         loop {
-            let s = self.state.load(Ordering::SeqCst);
+            // Relaxed: pure pre-CAS snapshot — every decision taken from
+            // `s` is re-validated by the CAS below (a stale value just
+            // fails it), so no ordering is needed here.
+            let s = self.state.load(Ordering::Relaxed);
             if s != BUSY {
-                self.successor_exists.store(true, Ordering::SeqCst);
+                // Release (was SeqCst): the flag only *advertises* a
+                // waiter. A releaser that misses a delayed store takes
+                // the conservative global-release path (always safe);
+                // the strict Dekker pair is exclusively between the
+                // *aborter's* clear and the releaser's double-check,
+                // both of which stay SeqCst.
+                self.successor_exists.store(true, Ordering::Release);
                 if self
                     .state
                     .compare_exchange(s, BUSY, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
-                    self.successor_exists.store(false, Ordering::SeqCst);
+                    // Release (was SeqCst): same-location coherence
+                    // orders this after our own store-true above; a
+                    // releaser reading a stale `true` merely takes the
+                    // double-checked handoff path, a spinner reading the
+                    // fresh `false` merely refreshes the flag.
+                    self.successor_exists.store(false, Ordering::Release);
                     return LocalAbortResult::Acquired((), Self::decode(s));
                 }
-            } else if !self.successor_exists.load(Ordering::SeqCst) {
-                self.successor_exists.store(true, Ordering::SeqCst);
+            } else if !self.successor_exists.load(Ordering::Relaxed) {
+                // Relaxed load: refresh hint only — a stale read costs at
+                // most one redundant store (or one skipped refresh,
+                // retried next round). The store it guards advertises as
+                // above.
+                self.successor_exists.store(true, Ordering::Release);
             }
             if let Some(d) = deadline {
                 if Instant::now() >= d {
@@ -124,9 +142,13 @@ impl Default for LocalAboLock {
 }
 
 // SAFETY: same CAS arbitration as LocalBoLock; see module docs for the
-// abort-vs-release races. All flag/state transitions use SeqCst so the
-// releaser's double-check and the aborter's state re-read cannot be
-// mutually reordered.
+// abort-vs-release races. The two store/load pairs that genuinely form a
+// Dekker protocol keep SeqCst: the releaser's LOCAL_RELEASE publish +
+// flag double-check, and the aborter's flag clear + state re-read —
+// these four operations must not be mutually reordered, or a committed
+// local handoff could be stranded. Every other site is weakened with a
+// site-local justification: stale reads there only ever steer toward
+// the conservative global-release path or a redundant retry.
 unsafe impl LocalCohortLock for LocalAboLock {
     type Token = ();
 
@@ -138,7 +160,8 @@ unsafe impl LocalCohortLock for LocalAboLock {
     }
 
     fn try_lock_local(&self) -> Option<((), Release)> {
-        let s = self.state.load(Ordering::SeqCst);
+        // Relaxed: pre-CAS snapshot, re-validated by the CAS below.
+        let s = self.state.load(Ordering::Relaxed);
         if s == BUSY {
             return None;
         }
@@ -153,7 +176,10 @@ unsafe impl LocalCohortLock for LocalAboLock {
     }
 
     unsafe fn unlock_local(&self, _t: (), pass_local: bool, release_global: impl FnOnce()) {
-        if pass_local && self.successor_exists.load(Ordering::SeqCst) {
+        // Relaxed (was SeqCst): decision hint only — a stale `false`
+        // costs a conservative global release; a stale `true` is
+        // arbitrated by the SeqCst publish + double-check below.
+        if pass_local && self.successor_exists.load(Ordering::Relaxed) {
             self.state.store(LOCAL_RELEASE, Ordering::SeqCst);
             // §3.6.1 double-check: did a waiter abort while we released?
             if !self.successor_exists.load(Ordering::SeqCst) {
@@ -176,7 +202,12 @@ unsafe impl LocalCohortLock for LocalAboLock {
             return;
         }
         release_global();
-        self.state.store(GLOBAL_RELEASE, Ordering::SeqCst);
+        // Release (was SeqCst): publishes the critical section to the
+        // next CAS winner (whose SeqCst RMW includes acquire). A global
+        // release carries no handoff obligation, so it sits outside the
+        // releaser/aborter Dekker pair — that pair is exclusively about
+        // LOCAL_RELEASE, which stays SeqCst above.
+        self.state.store(GLOBAL_RELEASE, Ordering::Release);
     }
 }
 

@@ -193,8 +193,18 @@ unsafe impl LocalCohortLock for LocalAClhLock {
         // Waiters exist if someone enqueued after us *and* our direct
         // successor has not flagged an abort. (The flag makes this
         // conservative — exactly the paper's design.)
-        let w = unsafe { token.0.as_ref().word.load(Ordering::Acquire) };
-        self.tail.load(Ordering::Acquire) == token.0.as_ptr() || (w & SA_BIT) != 0
+        //
+        // Both loads are Relaxed (were Acquire): `alone` is only a
+        // *hint* — the handoff CAS in `unlock_local` arbitrates
+        // authoritatively on the same word. A stale tail read can only
+        // show our own swap (same-thread coherence), i.e. claim we are
+        // alone — which forces the conservative global release; a stale
+        // word read missing the SA bit lets us *attempt* the handoff
+        // CAS, which then fails against the committed abort (same-word
+        // RMW ordering) and falls back to the global release. Neither
+        // stale direction can commit a handoff to a missing successor.
+        let w = unsafe { token.0.as_ref().word.load(Ordering::Relaxed) };
+        self.tail.load(Ordering::Relaxed) == token.0.as_ptr() || (w & SA_BIT) != 0
     }
 
     unsafe fn unlock_local(

@@ -65,6 +65,15 @@ pub struct ClusterStats {
 pub struct CohortStats {
     /// One entry per NUMA cluster.
     pub per_cluster: Vec<ClusterStats>,
+    /// Acquisitions that took a fast-path wrapper's top-level word
+    /// directly (see `cohort::fast_path`); 0 for plain cohort locks.
+    /// Fast-path acquisitions never touch the policy layer, so they are
+    /// *not* part of the per-cluster tenure counters.
+    pub fast_acquisitions: u64,
+    /// Acquisitions that fell into a fast-path wrapper's cohort slow
+    /// path; 0 for plain cohort locks (whose every acquisition is
+    /// already accounted in `per_cluster`).
+    pub slow_acquisitions: u64,
 }
 
 impl CohortStats {
@@ -179,6 +188,7 @@ impl HandoffTracker {
                     sum_streak: s.sum_streak.load(Ordering::Relaxed),
                 })
                 .collect(),
+            ..CohortStats::default()
         }
     }
 }

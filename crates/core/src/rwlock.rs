@@ -33,7 +33,13 @@
 //! Dekker-style protocol: a reader *increments its counter, then* checks
 //! the barrier; a writer *raises the barrier, then* scans the counters.
 //! With sequentially consistent operations on both sides, at least one of
-//! the two always observes the other.
+//! the two always observes the other. Only those four sites (reader
+//! announce + barrier check, writer barrier-raise + drain scan) need
+//! SeqCst; the exit-side stores and the advisory writer-pending counter
+//! are weakened with site-local justifications (see the ordering audit
+//! table in `docs/ARCHITECTURE.md`). Readers additionally take an
+//! **uncontended fast path**: announce first and re-check once, skipping
+//! the pre-announcement gate probe entirely when no writer is around.
 
 use crate::lock::{CohortLock, CohortToken};
 use crate::policy::{CohortStats, CountBound, HandoffPolicy};
@@ -218,11 +224,20 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     }
 
     /// Whether new readers must hold back right now.
+    ///
+    /// The `write_active` load must stay SeqCst: it is the reader's half
+    /// of the Dekker protocol with the writer's barrier-raise + counter
+    /// scan (store-buffer reordering on either side would let a reader
+    /// and a writer both enter). The `write_pending` load is Relaxed:
+    /// writer preference is *advisory* — a reader that misses a pending
+    /// writer merely slips in one more read batch; exclusion rests
+    /// solely on the `write_active`/counter pair, and the single-word
+    /// RMW counter is eventually visible to the re-checking spin loops.
     #[inline]
     fn readers_blocked(&self) -> bool {
         self.write_active.load(Ordering::SeqCst)
             || (self.fairness == RwFairness::WriterPreference
-                && self.write_pending.load(Ordering::SeqCst) > 0)
+                && self.write_pending.load(Ordering::Relaxed) > 0)
     }
 
     /// Spins until every cluster's reader count has drained to zero.
@@ -237,6 +252,11 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     fn wait_for_readers(&self) {
         let mut wait = SpinWait::new();
         for slot in self.readers.iter() {
+            // SeqCst deliberately: these scans are the writer's half of
+            // the Dekker protocol with the reader's announce/re-check.
+            // An acquire load could be hoisted above the (program-order
+            // earlier) barrier-raising store — the classic store-buffer
+            // interleaving — letting a reader and the writer both enter.
             while slot.load(Ordering::SeqCst) != 0 {
                 wait.snooze();
             }
@@ -248,9 +268,27 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     pub fn lock_read(&self) -> RwReadToken {
         let cluster = current_cluster_in(self.topology());
         let slot = &self.readers[cluster.as_usize()];
-        // Shared spin-then-yield budget across barrier re-checks: once
-        // exhausted, every probe yields so the writer being waited out can
-        // actually run (and finish) on oversubscribed hosts.
+        // Uncontended fast path: announce optimistically and re-check
+        // once, skipping the pre-announcement writer-gate probe — when
+        // the per-cluster counter is uncontended (no writer around),
+        // that probe is pure overhead and the announce/re-check pair
+        // below is the actual Dekker arbitration. The *post*-increment
+        // re-check can never be skipped: a writer may raise the barrier
+        // between our increment and its counter scan, and at least one
+        // side must observe the other (both sides SeqCst).
+        slot.fetch_add(1, Ordering::SeqCst);
+        if !self.readers_blocked() {
+            return RwReadToken { cluster };
+        }
+        // Release (was SeqCst): the retreat decrement only needs to
+        // publish — the writer's drain scan loads are SeqCst (⊇
+        // acquire) and a reader that has not yet entered has nothing to
+        // order; the entry Dekker is carried by the fetch_add above.
+        slot.fetch_sub(1, Ordering::Release);
+        // Contended slow path. Shared spin-then-yield budget across
+        // barrier re-checks: once exhausted, every probe yields so the
+        // writer being waited out can actually run (and finish) on
+        // oversubscribed hosts.
         let mut wait = SpinWait::new();
         loop {
             while self.readers_blocked() {
@@ -262,8 +300,8 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
                 return RwReadToken { cluster };
             }
             // A writer got between our two checks: retreat so its drain
-            // scan can complete, then wait it out.
-            slot.fetch_sub(1, Ordering::SeqCst);
+            // scan can complete, then wait it out. (Release: as above.)
+            slot.fetch_sub(1, Ordering::Release);
         }
     }
 
@@ -277,7 +315,8 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
         let slot = &self.readers[cluster.as_usize()];
         slot.fetch_add(1, Ordering::SeqCst);
         if self.readers_blocked() {
-            slot.fetch_sub(1, Ordering::SeqCst);
+            // Release: retreat decrement, as in `lock_read`.
+            slot.fetch_sub(1, Ordering::Release);
             return None;
         }
         Some(RwReadToken { cluster })
@@ -304,14 +343,20 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     /// As [`unlock_read`](Self::unlock_read): the caller must currently
     /// hold a read acquisition counted on `cluster`.
     pub unsafe fn unlock_read_on(&self, cluster: ClusterId) {
-        self.readers[cluster.as_usize()].fetch_sub(1, Ordering::SeqCst);
+        // Release (was SeqCst): the exit side is not part of the Dekker
+        // protocol — it only has to publish the reader's critical
+        // section *before* the drain-scanning writer (whose SeqCst loads
+        // include acquire) observes the count at zero. Release provides
+        // exactly that edge.
+        self.readers[cluster.as_usize()].fetch_sub(1, Ordering::Release);
     }
 
     /// Acquires the write side: announce (writer preference), take the
     /// writer cohort lock, raise the barrier, drain the readers.
     pub fn lock_write(&self) -> RwWriteToken<L::Token> {
         if self.fairness == RwFairness::WriterPreference {
-            self.write_pending.fetch_add(1, Ordering::SeqCst);
+            // Relaxed (was SeqCst): advisory — see `readers_blocked`.
+            self.write_pending.fetch_add(1, Ordering::Relaxed);
         }
         let inner = self.writer.lock();
         // Dekker step 2 (writer side): raise the barrier, then scan.
@@ -325,15 +370,16 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     pub fn try_lock_write(&self) -> Option<RwWriteToken<L::Token>> {
         // Announce like lock_write does: unlock_write decrements
         // unconditionally, so a successful try must have incremented too.
+        // (Relaxed pending ops: advisory — see `readers_blocked`.)
         let wp = self.fairness == RwFairness::WriterPreference;
         if wp {
-            self.write_pending.fetch_add(1, Ordering::SeqCst);
+            self.write_pending.fetch_add(1, Ordering::Relaxed);
         }
         let inner = match self.writer.try_lock() {
             Some(inner) => inner,
             None => {
                 if wp {
-                    self.write_pending.fetch_sub(1, Ordering::SeqCst);
+                    self.write_pending.fetch_sub(1, Ordering::Relaxed);
                 }
                 return None;
             }
@@ -341,12 +387,13 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
         self.write_active.store(true, Ordering::SeqCst);
         if self.readers.iter().any(|s| s.load(Ordering::SeqCst) != 0) {
             // Readers in flight: undo. (Any reader that retreated because
-            // of our transient barrier simply retries.)
-            self.write_active.store(false, Ordering::SeqCst);
+            // of our transient barrier simply retries. The lowering
+            // store is Release — see `unlock_write`.)
+            self.write_active.store(false, Ordering::Release);
             // SAFETY: `inner` is ours, used once, on this thread.
             unsafe { self.writer.unlock(inner) };
             if wp {
-                self.write_pending.fetch_sub(1, Ordering::SeqCst);
+                self.write_pending.fetch_sub(1, Ordering::Relaxed);
             }
             return None;
         }
@@ -361,10 +408,16 @@ impl<G: GlobalLock, L: LocalCohortLock, P: HandoffPolicy> CohortRwLock<G, L, P> 
     /// used at most once, on the acquiring thread (the underlying local
     /// cohort lock requires same-thread release).
     pub unsafe fn unlock_write(&self, token: RwWriteToken<L::Token>) {
-        self.write_active.store(false, Ordering::SeqCst);
+        // Release (was SeqCst): *lowering* the barrier is not part of
+        // the Dekker protocol (that protects raising it); it only has to
+        // publish the writer's critical section to readers admitted by
+        // observing `false` — their SeqCst barrier load includes
+        // acquire, so Release/load forms the needed edge.
+        self.write_active.store(false, Ordering::Release);
         self.writer.unlock(token.inner);
         if self.fairness == RwFairness::WriterPreference {
-            self.write_pending.fetch_sub(1, Ordering::SeqCst);
+            // Relaxed: advisory — see `readers_blocked`.
+            self.write_pending.fetch_sub(1, Ordering::Relaxed);
         }
     }
 

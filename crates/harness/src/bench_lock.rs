@@ -175,6 +175,25 @@ impl<P: cohort::HandoffPolicy> HasCohortStats for numa_baselines::CnaLock<P> {
     }
 }
 
+// The fissile wrapper reports its slow path's tenure counters with the
+// fast-vs-slow acquisition split folded into the snapshot (fast-path
+// acquisitions never touch the policy layer, so they appear only in the
+// `fast_acquisitions` field, not in any per-cluster counter).
+impl<G, L, P> HasCohortStats for cohort::FissileLock<G, L, P>
+where
+    G: cohort::GlobalLock,
+    L: cohort::LocalCohortLock,
+    P: cohort::HandoffPolicy,
+{
+    fn stats(&self) -> CohortStats {
+        self.cohort_stats()
+    }
+
+    fn policy_label(&self) -> String {
+        self.policy().label()
+    }
+}
+
 /// [`RawAdapter`] for cohort locks: additionally surfaces
 /// [`BenchLock::cohort_stats`].
 pub struct CohortAdapter<L: RawLock + HasCohortStats> {

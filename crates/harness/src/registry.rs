@@ -6,8 +6,8 @@ use crate::bench_lock::{
 use crate::bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 use cohort::{
     AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt, CohortLock, CohortRwLock, DynPolicy,
-    GlobalBoLock, LocalAClhLock, LocalAboLock, LocalBoLock, LocalMcsLock, LocalTicketLock,
-    PolicySpec, RwFairness,
+    FisBoMcs, FisTktMcs, FissileLock, GlobalBoLock, LocalAClhLock, LocalAboLock, LocalBoLock,
+    LocalMcsLock, LocalTicketLock, PolicySpec, RwFairness,
 };
 use numa_baselines::{CnaLock, FcMcsLock, HboLock, HboParams, HclhLock};
 use numa_topology::Topology;
@@ -40,6 +40,10 @@ pub enum LockKind {
     CBoMcs,
     CTktMcs,
     CMcsMcs,
+    // Fissile fast-path cohort locks (Dice & Kogan, arXiv:2003.05025):
+    // a TATAS word tried first, the cohort composition underneath.
+    FisBoMcs,
+    FisTktMcs,
     // Abortable locks (Figure 6).
     AClh,
     AHbo,
@@ -68,6 +72,8 @@ impl LockKind {
             LockKind::CBoMcs => "C-BO-MCS",
             LockKind::CTktMcs => "C-TKT-MCS",
             LockKind::CMcsMcs => "C-MCS-MCS",
+            LockKind::FisBoMcs => "Fis-BO-MCS",
+            LockKind::FisTktMcs => "Fis-TKT-MCS",
             LockKind::AClh => "A-CLH",
             LockKind::AHbo => "A-HBO",
             LockKind::ACBoBo => "A-C-BO-BO",
@@ -99,6 +105,13 @@ impl LockKind {
         matches!(self, LockKind::Cna | LockKind::CnaTight)
     }
 
+    /// Whether this is a fissile fast-path lock (a TATAS word over a
+    /// cohort slow path — policy-driven through the wrapped cohort
+    /// lock, with fast-vs-slow accounting in its `CohortStats`).
+    pub fn is_fissile(self) -> bool {
+        matches!(self, LockKind::FisBoMcs | LockKind::FisTktMcs)
+    }
+
     /// The CNA fairness threshold this kind is registered with (`None`
     /// for non-CNA kinds) — the single source the `fig_cna` self-check
     /// asserts streaks against.
@@ -110,10 +123,11 @@ impl LockKind {
         }
     }
 
-    /// Whether a [`PolicySpec`] applies to this kind — the cohort locks
-    /// *and* the CNA family share the handoff-policy knob.
+    /// Whether a [`PolicySpec`] applies to this kind — the cohort locks,
+    /// the CNA family, *and* the fissile wrappers (whose slow path is a
+    /// cohort lock) share the handoff-policy knob.
     pub fn has_policy_knob(self) -> bool {
-        self.is_cohort() || self.is_cna()
+        self.is_cohort() || self.is_cna() || self.is_fissile()
     }
 
     /// Instantiates the lock over `topo`.
@@ -145,6 +159,8 @@ impl LockKind {
             LockKind::CBoMcs => Arc::new(CohortAdapter::new(CBoMcs::new(Arc::clone(topo)))),
             LockKind::CTktMcs => Arc::new(CohortAdapter::new(CTktMcs::new(Arc::clone(topo)))),
             LockKind::CMcsMcs => Arc::new(CohortAdapter::new(CMcsMcs::new(Arc::clone(topo)))),
+            LockKind::FisBoMcs => Arc::new(CohortAdapter::new(FisBoMcs::new(Arc::clone(topo)))),
+            LockKind::FisTktMcs => Arc::new(CohortAdapter::new(FisTktMcs::new(Arc::clone(topo)))),
             LockKind::AClh => Arc::new(AbortableAdapter::new(base_locks::AbortableClhLock::new())),
             LockKind::AHbo => Arc::new(AbortableAdapter::new(HboLock::with_params(
                 Arc::clone(topo),
@@ -204,12 +220,26 @@ impl LockKind {
                 ),
             ))
         }
+        fn fissile<G, L>(topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock>
+        where
+            G: cohort::GlobalLock + Default + 'static,
+            L: cohort::LocalCohortLock + Default + 'static,
+        {
+            Arc::new(CohortAdapter::new(
+                FissileLock::<G, L, DynPolicy>::with_handoff_policy(
+                    Arc::clone(topo),
+                    policy.build(),
+                ),
+            ))
+        }
         match self {
             LockKind::CBoBo => cohort::<GlobalBoLock, LocalBoLock>(topo, policy),
             LockKind::CTktTkt => cohort::<base_locks::TicketLock, LocalTicketLock>(topo, policy),
             LockKind::CBoMcs => cohort::<GlobalBoLock, LocalMcsLock>(topo, policy),
             LockKind::CTktMcs => cohort::<base_locks::TicketLock, LocalMcsLock>(topo, policy),
             LockKind::CMcsMcs => cohort::<base_locks::McsLock, LocalMcsLock>(topo, policy),
+            LockKind::FisBoMcs => fissile::<GlobalBoLock, LocalMcsLock>(topo, policy),
+            LockKind::FisTktMcs => fissile::<base_locks::TicketLock, LocalMcsLock>(topo, policy),
             LockKind::ACBoBo => abortable::<GlobalBoLock, LocalAboLock>(topo, policy),
             LockKind::ACBoClh => abortable::<GlobalBoLock, LocalAClhLock>(topo, policy),
             LockKind::Cna | LockKind::CnaTight => Arc::new(CohortAdapter::new(
@@ -248,6 +278,45 @@ impl LockKind {
         LockKind::CBoMcs,
         LockKind::Cna,
         LockKind::CnaTight,
+    ];
+
+    /// The comparison set of the `fig_fissile` exhibit: the raw fast
+    /// path (TATAS), the raw queue baseline (MCS), the two-level slow
+    /// path (C-BO-MCS), and the graft of both (Fis-BO-MCS).
+    pub const FIG_FISSILE: [LockKind; 4] = [
+        LockKind::Tatas,
+        LockKind::Mcs,
+        LockKind::CBoMcs,
+        LockKind::FisBoMcs,
+    ];
+
+    /// Every registered kind, in registry order — the sweep set of the
+    /// `lock_latency` criterion bench (uncontended overhead is measured
+    /// per lock, so a kind missing here escapes regression tracking).
+    pub const ALL: [LockKind; 23] = [
+        LockKind::Pthread,
+        LockKind::Tatas,
+        LockKind::FibBo,
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Clh,
+        LockKind::Hbo,
+        LockKind::HboTuned,
+        LockKind::Hclh,
+        LockKind::FcMcs,
+        LockKind::Cna,
+        LockKind::CnaTight,
+        LockKind::CBoBo,
+        LockKind::CTktTkt,
+        LockKind::CBoMcs,
+        LockKind::CTktMcs,
+        LockKind::CMcsMcs,
+        LockKind::FisBoMcs,
+        LockKind::FisTktMcs,
+        LockKind::AClh,
+        LockKind::AHbo,
+        LockKind::ACBoBo,
+        LockKind::ACBoClh,
     ];
 
     /// The eleven lock columns of Tables 1 and 2.
@@ -506,34 +575,53 @@ mod tests {
     #[test]
     fn every_kind_constructs_and_locks() {
         let topo = Arc::new(Topology::new(4));
-        let all = [
-            LockKind::Pthread,
-            LockKind::Tatas,
-            LockKind::FibBo,
-            LockKind::Ticket,
-            LockKind::Mcs,
-            LockKind::Clh,
-            LockKind::Hbo,
-            LockKind::HboTuned,
-            LockKind::Hclh,
-            LockKind::FcMcs,
-            LockKind::Cna,
-            LockKind::CnaTight,
-            LockKind::CBoBo,
-            LockKind::CTktTkt,
-            LockKind::CBoMcs,
-            LockKind::CTktMcs,
-            LockKind::CMcsMcs,
-            LockKind::AClh,
-            LockKind::AHbo,
-            LockKind::ACBoBo,
-            LockKind::ACBoClh,
-        ];
-        for kind in all {
+        for kind in LockKind::ALL {
             let lock = kind.make(&topo);
             lock.acquire();
             lock.release();
             assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_duplicate_free() {
+        // Compiler guard for LockKind::ALL: this wildcard-free match
+        // fails to compile the moment a variant is added to the enum —
+        // the fix is to add it BOTH here and to ALL, which the
+        // membership assertion below then verifies.
+        fn member_of_all(k: LockKind) {
+            match k {
+                LockKind::Pthread
+                | LockKind::Tatas
+                | LockKind::FibBo
+                | LockKind::Ticket
+                | LockKind::Mcs
+                | LockKind::Clh
+                | LockKind::Hbo
+                | LockKind::HboTuned
+                | LockKind::Hclh
+                | LockKind::FcMcs
+                | LockKind::Cna
+                | LockKind::CnaTight
+                | LockKind::CBoBo
+                | LockKind::CTktTkt
+                | LockKind::CBoMcs
+                | LockKind::CTktMcs
+                | LockKind::CMcsMcs
+                | LockKind::FisBoMcs
+                | LockKind::FisTktMcs
+                | LockKind::AClh
+                | LockKind::AHbo
+                | LockKind::ACBoBo
+                | LockKind::ACBoClh => {
+                    assert!(LockKind::ALL.contains(&k), "{k} missing from ALL")
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for kind in LockKind::ALL {
+            member_of_all(kind);
+            assert!(seen.insert(kind), "{kind} listed twice in ALL");
         }
     }
 
@@ -557,6 +645,13 @@ mod tests {
         assert!(LockKind::CnaTight.has_policy_knob());
         assert!(LockKind::CBoMcs.has_policy_knob());
         assert!(!LockKind::Mcs.has_policy_knob());
+        // Fissile wrappers are policy-driven through their slow path but
+        // are neither plain cohort locks nor CNA.
+        assert!(LockKind::FisBoMcs.is_fissile());
+        assert!(LockKind::FisTktMcs.has_policy_knob());
+        assert!(!LockKind::FisBoMcs.is_cohort());
+        assert!(!LockKind::FisBoMcs.is_cna());
+        assert!(!LockKind::Tatas.is_fissile());
         assert_eq!(LockKind::Cna.cna_threshold(), Some(64));
         assert_eq!(
             LockKind::CnaTight.cna_threshold(),
@@ -586,6 +681,25 @@ mod tests {
         }
         assert!(LockKind::Mcs.make(&topo).cohort_stats().is_none());
         assert!(LockKind::Pthread.make(&topo).cohort_stats().is_none());
+    }
+
+    #[test]
+    fn fissile_kinds_report_fast_slow_accounting() {
+        let topo = Arc::new(Topology::new(4));
+        for kind in [LockKind::FisBoMcs, LockKind::FisTktMcs] {
+            let lock = kind.make(&topo);
+            lock.acquire();
+            lock.release();
+            let stats = lock.cohort_stats().expect("fissile locks expose stats");
+            assert_eq!(stats.fast_acquisitions, 1, "{kind}: uncontended = fast");
+            assert_eq!(stats.slow_acquisitions, 0, "{kind}");
+            assert_eq!(stats.tenures(), 0, "{kind}: fast path skips the cohort");
+            assert_eq!(lock.policy_label().as_deref(), Some("count(64)"), "{kind}");
+        }
+        // The policy knob reaches the fissile slow path like any cohort kind.
+        let lock = LockKind::FisBoMcs
+            .make_with_optional_policy(&topo, Some(PolicySpec::Time { budget_ns: 7 }));
+        assert_eq!(lock.policy_label().as_deref(), Some("time(7ns)"));
     }
 
     #[test]
@@ -706,6 +820,8 @@ mod tests {
             LockKind::CBoMcs,
             LockKind::CTktMcs,
             LockKind::CMcsMcs,
+            LockKind::FisBoMcs,
+            LockKind::FisTktMcs,
             LockKind::ACBoBo,
             LockKind::ACBoClh,
             LockKind::Cna,

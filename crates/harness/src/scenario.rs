@@ -303,6 +303,12 @@ pub struct ScenarioResult {
     pub max_streak: u64,
     /// Cross-cluster migrations per cohort tenure (0 when no tenures).
     pub migrations_per_tenure: f64,
+    /// Fast-path (top-word) acquisitions of a fissile lock — 0 for every
+    /// other kind.
+    pub fast_acquisitions: u64,
+    /// Slow-path (cohort) acquisitions of a fissile lock — 0 for every
+    /// other kind.
+    pub slow_acquisitions: u64,
     /// Power-of-two histogram of same-cluster batch lengths.
     pub batch_hist: Vec<u64>,
     /// Median modelled acquisition latency (exclusive acquisitions, ns).
@@ -399,6 +405,8 @@ impl ScenarioResult {
             mean_streak: 0.0,
             max_streak: 0,
             migrations_per_tenure: 0.0,
+            fast_acquisitions: 0,
+            slow_acquisitions: 0,
             batch_hist: Vec::new(),
             lat_p50_ns: 0,
             lat_p99_ns: 0,
@@ -417,6 +425,91 @@ pub(crate) fn cluster_for(i: usize, cfg: &LBenchConfig) -> ClusterId {
             ClusterId::new(((i / per).min(cfg.clusters - 1)) as u32)
         }
     }
+}
+
+/// Per-thread cap on retained latency samples. Long measurement windows
+/// used to grow the sample `Vec` without bound mid-measurement: every
+/// doubling realloc is a pause charged to whatever acquisition happens
+/// to be in flight (polluting exactly the p99 the samples exist to
+/// measure), and a pathological window could OOM. Beyond the cap the
+/// sampler *decimates*: it drops every other retained sample and doubles
+/// its sampling stride, so memory stays bounded at
+/// `LAT_RESERVOIR × 8 B` per thread while the retained set remains a
+/// uniform (every `stride`-th acquisition) subsample — nearest-rank
+/// percentiles over a uniform subsample are unbiased.
+const LAT_RESERVOIR: usize = 32 * 1024;
+
+/// Reservoir-capped latency sampler (see [`LAT_RESERVOIR`]): records
+/// every `stride`-th sample, decimating once full. The `Vec` is
+/// pre-sized from the scenario's op budget so steady-state measurement
+/// never reallocates.
+struct LatReservoir {
+    samples: Vec<u64>,
+    stride: u64,
+    ticks: u64,
+}
+
+impl LatReservoir {
+    /// Sizes the reservoir for a run of `cfg.window_ns` virtual
+    /// nanoseconds: the op budget is bounded below by the modelled
+    /// per-op floor (critical-section compute + mean non-critical idle),
+    /// so reserving `min(budget, cap)` up front removes measurement-time
+    /// allocation entirely for every realistic window.
+    fn for_config(cfg: &LBenchConfig) -> Self {
+        let per_op_floor_ns = (cfg.cs_extra_ns + cfg.noncs_max_ns / 2).max(1);
+        let budget = (cfg.window_ns / per_op_floor_ns) as usize;
+        LatReservoir {
+            samples: Vec::with_capacity(budget.clamp(1, LAT_RESERVOIR)),
+            stride: 1,
+            ticks: 0,
+        }
+    }
+
+    /// Offers one sample; retained iff the tick lands on the stride.
+    #[inline]
+    fn record(&mut self, sample: u64) {
+        if self.ticks.is_multiple_of(self.stride) {
+            if self.samples.len() >= LAT_RESERVOIR {
+                // Decimate: keep every other retained sample (indices
+                // 0, 2, 4, …) and double the stride — the retained set
+                // stays a uniform subsample of the acquisition stream.
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            if self.ticks.is_multiple_of(self.stride) {
+                self.samples.push(sample);
+            }
+        }
+        self.ticks += 1;
+    }
+
+    /// The retained samples plus the stride they were taken at (needed
+    /// to merge reservoirs from threads that decimated unequally).
+    fn into_parts(self) -> (Vec<u64>, u64) {
+        (self.samples, self.stride)
+    }
+}
+
+/// Merges per-thread reservoirs into one sample set at a **common
+/// stride**. Threads decimate independently, so a hot thread may retain
+/// every 4th acquisition while an idle-bound one kept them all; pooling
+/// those unweighted would over-weight the un-decimated threads'
+/// distribution in the run percentiles. Aligning every thread to the
+/// maximum stride first (strides are powers of two, so each set is
+/// re-decimated by an integer step) keeps the pool a uniform subsample
+/// of the whole run's acquisition stream.
+fn merge_lat_reservoirs(parts: Vec<(Vec<u64>, u64)>) -> Vec<u64> {
+    let max_stride = parts.iter().map(|(_, s)| *s).max().unwrap_or(1);
+    let mut merged = Vec::new();
+    for (samples, stride) in parts {
+        let step = (max_stride / stride.max(1)).max(1) as usize;
+        merged.extend(samples.into_iter().step_by(step));
+    }
+    merged
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample set (0 for an
@@ -498,7 +591,7 @@ pub fn run_scenario_on(
                 let mut reads = 0u64;
                 let mut writes = 0u64;
                 let mut aborts = 0u64;
-                let mut lat = Vec::new();
+                let mut lat = LatReservoir::for_config(&cfg);
                 barrier.wait();
                 let wall_start = Instant::now();
                 let mut check = 0u32;
@@ -568,7 +661,7 @@ pub fn run_scenario_on(
                                 handoff.on_acquire(my_cluster);
                                 // Queue wait + handoff transfer, in
                                 // modelled ns: the acquisition latency.
-                                lat.push(vclock::now().saturating_sub(lat_from));
+                                lat.record(vclock::now().saturating_sub(lat_from));
                             }
                             // Measure only the critical-section work, not
                             // the catch-up on_acquire applied.
@@ -653,7 +746,7 @@ pub fn run_scenario_on(
                         stop.store(true, Ordering::Relaxed);
                     }
                 }
-                (reads, writes, aborts, lat, take_thread_stats())
+                (reads, writes, aborts, lat.into_parts(), take_thread_stats())
             })
         })
         .collect();
@@ -663,7 +756,7 @@ pub fn run_scenario_on(
     let mut write_ops = 0u64;
     let mut aborts = 0u64;
     let mut remote_misses = 0u64;
-    let mut lat = Vec::new();
+    let mut lat_parts = Vec::with_capacity(cfg.threads);
     for h in handles {
         let (r, w, ab, thread_lat, stats) = h.join().expect("scenario worker panicked");
         per_thread_ops.push(r + w);
@@ -671,8 +764,9 @@ pub fn run_scenario_on(
         write_ops += w;
         aborts += ab;
         remote_misses += stats.remote_misses;
-        lat.extend(thread_lat);
+        lat_parts.push(thread_lat);
     }
+    let mut lat = merge_lat_reservoirs(lat_parts);
     lat.sort_unstable();
 
     let total_ops = read_ops + write_ops;
@@ -730,6 +824,8 @@ pub fn run_scenario_on(
         } else {
             0.0
         },
+        fast_acquisitions: cstats.as_ref().map_or(0, |s| s.fast_acquisitions),
+        slow_acquisitions: cstats.as_ref().map_or(0, |s| s.slow_acquisitions),
         batch_hist: handoff.batches().snapshot().to_vec(),
         lat_p50_ns: percentile(&lat, 50.0),
         lat_p99_ns: percentile(&lat, 99.0),
@@ -793,6 +889,59 @@ mod tests {
         assert_eq!(s.noncs_max_for(0, 1, 4000), 4000, "t=1 degenerate");
         let sym = Scenario::steady();
         assert_eq!(sym.noncs_max_for(3, 4, 4000), 4000);
+    }
+
+    #[test]
+    fn lat_reservoir_caps_and_decimates_uniformly() {
+        let mut r = LatReservoir::for_config(&LBenchConfig::default());
+        let n = (LAT_RESERVOIR as u64) * 4 + 7;
+        for i in 0..n {
+            r.record(i);
+        }
+        let (s, stride) = r.into_parts();
+        assert!(s.len() <= LAT_RESERVOIR, "cap respected: {}", s.len());
+        assert!(stride >= 4, "stride doubled per decimation");
+        assert!(
+            s.len() >= LAT_RESERVOIR / 2,
+            "decimation halves, not empties"
+        );
+        // The retained set must stay a uniform subsample: consecutive
+        // retained ticks differ by one constant stride.
+        let stride = s[1] - s[0];
+        assert!(stride >= 4, "three decimations over 4x the cap");
+        assert!(
+            s.windows(2).all(|w| w[1] - w[0] == stride),
+            "non-uniform retention"
+        );
+    }
+
+    #[test]
+    fn lat_reservoir_is_exact_below_the_cap() {
+        // Small runs must be untouched: every sample retained in order.
+        let mut r = LatReservoir::for_config(&LBenchConfig::default());
+        for i in 0..1_000u64 {
+            r.record(i * 3);
+        }
+        let (s, stride) = r.into_parts();
+        assert_eq!(s.len(), 1_000);
+        assert_eq!(stride, 1);
+        assert!(s.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn merging_reservoirs_aligns_unequal_strides() {
+        // Thread A decimated to stride 4 (kept ticks 0,4,8,…); thread B
+        // kept everything (stride 1). The merge must re-decimate B by 4
+        // so neither thread's distribution is over-weighted.
+        let a: Vec<u64> = (0..8).map(|i| i * 4).collect();
+        let b: Vec<u64> = (100..132).collect();
+        let merged = merge_lat_reservoirs(vec![(a.clone(), 4), (b, 1)]);
+        assert_eq!(&merged[..8], &a[..], "aligned sets pass through");
+        assert_eq!(merged.len(), 8 + 8, "B re-decimated from 32 to 8");
+        assert_eq!(&merged[8..], &[100, 104, 108, 112, 116, 120, 124, 128]);
+        // Degenerate cases.
+        assert!(merge_lat_reservoirs(Vec::new()).is_empty());
+        assert_eq!(merge_lat_reservoirs(vec![(vec![7], 1)]), vec![7]);
     }
 
     #[test]

@@ -6,9 +6,9 @@
 
 use base_locks::{McsLock, RawLock, TicketLock};
 use cohort::{
-    AdaptiveBound, CohortLock, CohortStats, CountBound, GlobalBoLock, GlobalLock, HandoffPolicy,
-    LocalAClhLock, LocalAboLock, LocalBoLock, LocalCohortLock, LocalMcsLock, LocalTicketLock,
-    NeverPass, PolicySpec, TimeBound, Unbounded,
+    AdaptiveBound, CohortLock, CohortStats, CountBound, FissileLock, GlobalBoLock, GlobalLock,
+    HandoffPolicy, LocalAClhLock, LocalAboLock, LocalBoLock, LocalCohortLock, LocalMcsLock,
+    LocalTicketLock, NeverPass, PolicySpec, TimeBound, Unbounded,
 };
 use numa_baselines::CnaLock;
 use numa_topology::Topology;
@@ -173,6 +173,74 @@ fn all_seven_paper_compositions_under_every_policy_family() {
         GlobalBoLock, LocalAboLock;     // A-C-BO-BO
         GlobalBoLock, LocalAClhLock;    // A-C-BO-CLH
     );
+}
+
+#[test]
+fn fissile_under_every_policy_family_keeps_exclusion_and_balance() {
+    // The fissile wrapper grafts a TATAS word onto the cohort slow path;
+    // under every policy family the graft must keep mutual exclusion and
+    // the slow-path conservation invariants, with the fast/slow split
+    // accounting for every acquisition. (This is the matrix coverage the
+    // relaxed-ordering sites in the fissile/cohort hot paths rely on.)
+    let specs = [
+        PolicySpec::Count { bound: 64 },
+        PolicySpec::Count { bound: 2 },
+        PolicySpec::Time { budget_ns: 30_000 },
+        PolicySpec::Adaptive { min: 4, max: 128 },
+        PolicySpec::NeverPass,
+        PolicySpec::Unbounded,
+    ];
+    for spec in specs {
+        let lock = Arc::new(
+            FissileLock::<GlobalBoLock, LocalMcsLock, _>::with_handoff_policy(
+                Arc::new(Topology::new(4)),
+                spec.build(),
+            ),
+        );
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4u64)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        let t = lock.lock();
+                        let va = a.load(Ordering::Relaxed);
+                        let vb = b.load(Ordering::Relaxed);
+                        assert_eq!(va, vb, "critical section raced under {spec}");
+                        a.store(va + 1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                        b.store(vb + 1, Ordering::Relaxed);
+                        unsafe { lock.unlock(t) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::Relaxed), 1_000, "{spec}");
+        let stats = lock.cohort_stats();
+        assert_eq!(
+            stats.fast_acquisitions + stats.slow_acquisitions,
+            1_000,
+            "{spec}: every acquisition is fast or slow"
+        );
+        assert_eq!(stats.tenures(), stats.global_releases(), "{spec}");
+        assert_eq!(
+            stats.tenures() + stats.local_handoffs(),
+            stats.slow_acquisitions,
+            "{spec}: slow-path conservation"
+        );
+        if let PolicySpec::Count { bound } = spec {
+            assert!(stats.max_streak() <= bound, "{spec}");
+        }
+        if spec == PolicySpec::NeverPass {
+            assert_eq!(stats.local_handoffs(), 0, "{spec}");
+        }
+    }
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! tokens crossing threads, guards over cohort locks, registry coverage.
 
 use base_locks::{RawLock, SpinMutex};
-use cohort::{CBoMcs, CTktTkt, GlobalLock};
+use cohort::{CBoMcs, CTktTkt, FisBoMcs, GlobalLock};
 use lbench::LockKind;
 use numa_topology::Topology;
 use std::sync::Arc;
@@ -73,6 +73,8 @@ fn every_registry_lock_supports_nested_distinct_instances() {
         LockKind::CnaTight,
         LockKind::CBoBo,
         LockKind::CMcsMcs,
+        LockKind::FisBoMcs,
+        LockKind::FisTktMcs,
         LockKind::ACBoClh,
     ] {
         let a = kind.make(&topo);
@@ -82,6 +84,37 @@ fn every_registry_lock_supports_nested_distinct_instances() {
         b.release();
         a.release();
     }
+}
+
+#[test]
+fn fissile_mutex_guard_and_try_lock_semantics() {
+    // The fissile lock behind the same RAII guard as every other
+    // composition, plus its word-exact try_lock: a held word (either
+    // path) reports busy, a free one is taken through the fast path.
+    let topo = Arc::new(Topology::new(4));
+    let m: Arc<SpinMutex<u64, FisBoMcs>> =
+        Arc::new(SpinMutex::with_lock(FisBoMcs::new(Arc::clone(&topo)), 0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    *m.lock() += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*m.lock(), 2_000);
+    let s = m.raw().cohort_stats();
+    assert_eq!(s.fast_acquisitions + s.slow_acquisitions, 2_001);
+
+    let l = FisBoMcs::new(topo);
+    let t = l.try_lock().expect("free word");
+    assert!(l.try_lock().is_none(), "held word reports busy");
+    unsafe { l.unlock(t) };
 }
 
 #[test]
