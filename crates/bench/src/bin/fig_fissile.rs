@@ -46,7 +46,7 @@ use cohort_bench::{
     base_config, exhibit_main, knob_or_die, long_table, metric_table, schema, thread_grid, Cell,
     Check, Exhibit, Measure, Measurement, TableSpec, FISSILE_UNCONTENDED_FLOOR,
 };
-use lbench::env::{env_positive_u64, env_positive_usize_list};
+use lbench::env::{env_positive_usize_list, env_range_u64};
 use lbench::{
     run_scenario, run_scenario_on, AnyLockKind, BenchLock, CohortAdapter, LockKind, MutexAsRw,
     Scenario, ScenarioResult,
@@ -61,8 +61,8 @@ fn fissile_clusters() -> Vec<usize> {
 /// Fast-path tuning from the environment (defaults are the library's).
 fn tuning() -> FissileTuning {
     let knob_u32 = |knob: &str, default: u32| -> u32 {
-        knob_or_die(env_positive_u64(knob))
-            .map(|v| v.min(u32::MAX as u64) as u32)
+        knob_or_die(env_range_u64(knob, 1..=u64::from(u32::MAX)))
+            .map(|v| v as u32)
             .unwrap_or(default)
     };
     FissileTuning {

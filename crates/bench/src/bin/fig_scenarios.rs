@@ -1,10 +1,10 @@
 //! Exhibit Scenarios: one engine, many load shapes.
 //!
 //! The paper's grid (§4) is steady-state only; this exhibit exercises
-//! the scenario engine's other shapes over the four lock families —
+//! the scenario engine's other shapes over the five lock families —
 //! NUMA-oblivious (MCS, TATAS), cohort (C-BO-MCS, plus the C-RW-WP
-//! reader-writer composition), fissile fast-path (Fis-BO-MCS), and
-//! compaction (CNA):
+//! reader-writer composition), fissile fast-path (Fis-BO-MCS),
+//! compaction (CNA), and admission (GCR-C-BO-MCS):
 //!
 //! * `steady` — the paper's shape, at the contended thread count;
 //! * `uncontended` — a single thread (*Fissile Locks* territory: where
@@ -14,7 +14,11 @@
 //! * `phased` — a repeating 90%/10% read-ratio schedule (reads are
 //!   shared on the C-RW column, exclusive elsewhere);
 //! * `light` — thread-asymmetric idling thins the offered load to a few
-//!   hot threads (the light-contention fast-path regime).
+//!   hot threads (the light-contention fast-path regime);
+//! * `oversub` — steady arrival at 4× the contended thread count
+//!   (threads ≫ cores: the scalability-collapse regime the GCR
+//!   admission layer exists for — the grid carries a `GCR-C-BO-MCS` row
+//!   next to the bare locks).
 //!
 //! Environment (strict `lbench::env` parsing, like every knob):
 //!
@@ -47,7 +51,14 @@ use lbench::{AnyLockKind, LockKind, Phase, RwLockKind, Scenario};
 
 /// The scenario names, in presentation order (also the `LBENCH_SCENARIO`
 /// vocabulary).
-const SCENARIOS: &[&str] = &["steady", "uncontended", "bursty", "phased", "light"];
+const SCENARIOS: &[&str] = &[
+    "steady",
+    "uncontended",
+    "bursty",
+    "phased",
+    "light",
+    "oversub",
+];
 
 /// One grid cell: a named scenario at a thread count.
 #[derive(Clone)]
@@ -106,6 +117,7 @@ fn cells() -> Vec<ScenCell> {
                     ]),
                 ),
                 "light" => (t, Scenario::steady().with_asymmetry(8.0)),
+                "oversub" => (4 * t, Scenario::steady()),
                 _ => unreachable!("name comes from SCENARIOS"),
             };
             ScenCell {
@@ -198,7 +210,7 @@ fn main() {
     exhibit_main(Exhibit {
         name: "fig_scenarios",
         banner: format!(
-            "fig_scenarios: {} scenarios x 6 locks, {} threads contended, {} clusters",
+            "fig_scenarios: {} scenarios x 7 locks, {} threads contended, {} clusters",
             grid.len(),
             scenario_threads(),
             clusters()
@@ -209,6 +221,7 @@ fn main() {
             AnyLockKind::Excl(LockKind::CBoMcs),
             AnyLockKind::Excl(LockKind::FisBoMcs),
             AnyLockKind::Excl(LockKind::Cna),
+            AnyLockKind::Excl(LockKind::GcrCBoMcs),
             AnyLockKind::Rw(RwLockKind::CRwWpBoMcs),
         ],
         grid,

@@ -94,16 +94,14 @@ pub struct Exhibit<C> {
     pub epilogue: Option<Epilogue<C>>,
 }
 
-/// Magnitude-aware mantissa for progress lines (`2563000` → `"2.563e6"`,
+/// Magnitude-aware mantissa for progress lines (`2563000` → `"2.56e6"`,
 /// `1234` → `"1.2e3"`, `87` → `"87"`); the caller appends the unit.
+/// Delegates to the harness formatter so the progress lines, the
+/// printed tables, and the [`Cell::Rate`] CSV fields all promote at the
+/// same boundaries (the old local copy promoted at the raw magnitude
+/// and printed four-digit mantissas like `1000.0e3` just below 1e6).
 fn fmt_rate(v: f64) -> String {
-    if v >= 1e6 {
-        format!("{:.3}e6", v / 1e6)
-    } else if v >= 1e3 {
-        format!("{:.1}e3", v / 1e3)
-    } else {
-        format!("{v:.0}")
-    }
+    lbench::stats::fmt_throughput_raw(v)
 }
 
 /// Runs an exhibit: sweep, tables, epilogue, checks. Returns whether all

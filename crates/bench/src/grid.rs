@@ -23,6 +23,12 @@ pub enum Cell {
     },
     /// An integer (counters, thread counts).
     Int(u64),
+    /// A throughput figure, unit-promoted in **both** the text rendering
+    /// and the CSV field through [`lbench::stats::fmt_throughput_raw`]
+    /// (`2_550_000.0` → `2.55e6`) — the form stays float-parseable, and
+    /// the two emit paths can never disagree about magnitude. `NaN`
+    /// renders as a dash and an empty CSV field.
+    Rate(f64),
     /// A text cell (lock names, policy labels, row keys).
     Text(String),
     /// An absent measurement: a dash in text, an empty CSV field.
@@ -45,6 +51,8 @@ impl Cell {
         match self {
             Cell::Num { v, .. } if v.is_nan() => "-".to_string(),
             Cell::Num { v, prec } => format!("{v:.prec$}"),
+            Cell::Rate(v) if v.is_nan() => "-".to_string(),
+            Cell::Rate(v) => lbench::stats::fmt_throughput_raw(*v),
             Cell::Int(n) => n.to_string(),
             Cell::Text(s) => s.clone(),
             Cell::Missing => "-".to_string(),
@@ -55,6 +63,7 @@ impl Cell {
     fn csv(&self) -> String {
         match self {
             Cell::Num { v, .. } if v.is_nan() => String::new(),
+            Cell::Rate(v) if v.is_nan() => String::new(),
             Cell::Missing => String::new(),
             other => other.rendered(),
         }
@@ -170,6 +179,27 @@ mod tests {
         let four = s.find("\n       4").unwrap();
         assert!(one < four, "rows render in insertion order:\n{s}");
         assert!(s.contains('-'), "missing and NaN render as dash");
+    }
+
+    #[test]
+    fn rate_cells_promote_in_both_emit_paths() {
+        // The whole point of Cell::Rate: the CSV field carries the same
+        // unit-promoted figure as the rendered table (the old Cell::num
+        // path promoted only in the printed rendering via fmt_rate).
+        let big = Cell::Rate(2_550_000.0);
+        assert_eq!(big.rendered(), "2.55e6");
+        assert_eq!(big.csv(), "2.55e6");
+        let mid = Cell::Rate(487_200.0);
+        assert_eq!(mid.rendered(), "487.2e3");
+        assert_eq!(mid.csv(), "487.2e3");
+        // The rounding band just below 1e6 promotes (the fmt_rate bug:
+        // 999_990 rendered as the four-digit "1000.0e3").
+        assert_eq!(Cell::Rate(999_990.0).csv(), "1.00e6");
+        assert_eq!(Cell::Rate(87.0).csv(), "87");
+        // CSV fields stay float-parseable.
+        assert_eq!(mid.csv().parse::<f64>().unwrap(), 487_200.0);
+        assert_eq!(Cell::Rate(f64::NAN).rendered(), "-");
+        assert_eq!(Cell::Rate(f64::NAN).csv(), "");
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub use exhibit::{
 };
 pub use grid::{emit, Cell, Grid};
 
-use lbench::env::{env_positive_usize, env_positive_usize_list, env_u64, EnvKnobError};
+use lbench::env::{
+    env_positive_usize, env_positive_usize_list, env_range_u64, env_u64, EnvKnobError,
+};
 use lbench::LBenchConfig;
 use std::time::Duration;
 
@@ -63,17 +65,9 @@ pub fn window_ns() -> u64 {
 /// Cluster count (the T5440 had 4; `LBENCH_CLUSTERS` outside 1..=32
 /// aborts through the same knob error path as every other knob).
 pub fn clusters() -> usize {
-    knob_or_die(
-        env_positive_usize("LBENCH_CLUSTERS").and_then(|parsed| match parsed {
-            Some(c) if !(1..=32).contains(&c) => Err(EnvKnobError::Number {
-                knob: "LBENCH_CLUSTERS".to_string(),
-                value: c.to_string(),
-                expected: "an integer in 1..=32",
-            }),
-            other => Ok(other),
-        }),
-    )
-    .unwrap_or(4)
+    knob_or_die(env_range_u64("LBENCH_CLUSTERS", 1..=32))
+        .map(|c| c as usize)
+        .unwrap_or(4)
 }
 
 /// The default LBench configuration for the figure sweeps.

@@ -45,6 +45,15 @@ pub const FIG_CNA_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,
 pub const FIG_FISSILE_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,migrations,\
      misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,fast_acqs,slow_acqs,policy";
 
+/// Header of `fig_gcr.csv` (written by the `fig_gcr` binary): the
+/// `fig_fissile` shape with the cluster column replaced by the
+/// oversubscription factor (threads ÷ base threads) and the GCR
+/// admission counters appended (`passive_parks`/`promotions` — zeros
+/// for the unwrapped rows).
+pub const FIG_GCR_HEADER: &str = "lock,oversub,threads,clusters,throughput,acquisitions,\
+     migrations,misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,fast_acqs,\
+     slow_acqs,passive_parks,promotions,policy";
+
 /// Header of the policy-sweep CSVs (`ablation_policy.csv`,
 /// `ablation_handoff.csv`; rows built by [`crate::policy_csv_row`]).
 pub const POLICY_HEADER: &str = "lock,policy,threads,throughput,stddev_pct,mean_batch,\
@@ -59,6 +68,7 @@ pub fn expected_header(file_name: &str) -> Option<String> {
         "fig_rw.csv" => Some(FIG_RW_HEADER.to_string()),
         "fig_cna.csv" => Some(FIG_CNA_HEADER.to_string()),
         "fig_fissile.csv" => Some(FIG_FISSILE_HEADER.to_string()),
+        "fig_gcr.csv" => Some(FIG_GCR_HEADER.to_string()),
         "fig_scenarios.csv" => Some(FIG_SCENARIOS_HEADER.to_string()),
         "ablation_policy.csv" | "ablation_handoff.csv" => Some(POLICY_HEADER.to_string()),
         "fig2_throughput.csv"
@@ -129,6 +139,7 @@ mod tests {
             FIG_RW_HEADER,
             FIG_CNA_HEADER,
             FIG_FISSILE_HEADER,
+            FIG_GCR_HEADER,
             FIG_SCENARIOS_HEADER,
             POLICY_HEADER,
         ] {
@@ -142,6 +153,17 @@ mod tests {
         assert!(fis.starts_with("lock,clusters,threads,"), "{fis}");
         assert!(fis.contains("fast_acqs,slow_acqs"), "{fis}");
         assert!(fis.ends_with("policy"), "{fis}");
+    }
+
+    #[test]
+    fn gcr_header_extends_the_fissile_shape() {
+        let gcr = expected_header("fig_gcr.csv").unwrap();
+        assert!(gcr.starts_with("lock,oversub,threads,clusters,"), "{gcr}");
+        assert!(
+            gcr.contains("fast_acqs,slow_acqs,passive_parks,promotions"),
+            "{gcr}"
+        );
+        assert!(gcr.ends_with("policy"), "{gcr}");
     }
 
     #[test]

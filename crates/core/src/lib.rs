@@ -38,6 +38,15 @@
 //! uncontended acquire a single CAS while saturation still gets full
 //! cohort behavior (aliases [`FisBoMcs`], [`FisTktMcs`]).
 //!
+//! When the machine is **oversubscribed** (threads ≫ cores), the [`gcr`]
+//! module wraps any of these locks — or any [`base_locks::RawLock`] at
+//! all — in a Generic Concurrency Restriction admission layer in the
+//! style of Dice & Kogan (arXiv:1905.10818): [`GcrLock<K>`] admits
+//! roughly one waiter per cluster to the contention path, parks the
+//! surplus on slow-spinning passive lists, and rotates parked threads in
+//! periodically for long-term fairness (aliases [`GcrMcs`],
+//! [`GcrCBoMcs`], [`GcrFisBoMcs`]).
+//!
 //! Beyond the paper's mutual-exclusion locks, the [`rwlock`] module
 //! applies the transformation to **reader-writer** locks in the style of
 //! the paper's follow-on work (*NUMA-Aware Reader-Writer Locks*, PPoPP
@@ -80,6 +89,7 @@
 
 mod abortable;
 pub mod fast_path;
+pub mod gcr;
 mod global;
 mod local_abo;
 mod local_aclh;
@@ -92,6 +102,7 @@ pub mod rwlock;
 mod traits;
 
 pub use fast_path::{FissileLock, FissileToken, FissileTuning};
+pub use gcr::{GcrInner, GcrLock, GcrToken, GcrTuning};
 pub use global::GlobalBoLock;
 pub use local_abo::LocalAboLock;
 pub use local_aclh::{AClhToken, LocalAClhLock};
@@ -160,6 +171,19 @@ pub type FisBoMcs = FissileLock<GlobalBoLock, LocalMcsLock>;
 
 /// Fis-TKT-MCS: the fissile fast-path lock over [`CTktMcs`].
 pub type FisTktMcs = FissileLock<TicketLock, LocalMcsLock>;
+
+/// GCR-MCS: the concurrency-restriction admission layer over a plain MCS
+/// queue lock — the minimal demonstration that GCR is lock-agnostic (see
+/// [`gcr`]).
+pub type GcrMcs = GcrLock<McsLock>;
+
+/// GCR-C-BO-MCS: the admission layer over the paper's best cohort
+/// composition [`CBoMcs`] — NUMA-aware admission over NUMA-aware handoff.
+pub type GcrCBoMcs = GcrLock<CBoMcs>;
+
+/// GCR-Fis-BO-MCS: the admission layer over the fissile fast-path lock
+/// [`FisBoMcs`] — restriction, fast path, and cohorting stacked.
+pub type GcrFisBoMcs = GcrLock<FisBoMcs>;
 
 #[cfg(test)]
 mod tests {
@@ -253,6 +277,33 @@ mod tests {
     #[test]
     fn fis_tkt_mcs_mutual_exclusion() {
         stress(FisTktMcs::new(topo()), 4, 1_500);
+    }
+
+    #[test]
+    fn gcr_mcs_mutual_exclusion() {
+        // The admission layer over a plain queue lock: exclusion must
+        // hold across direct, admitted, and promoted acquisitions.
+        stress(GcrMcs::over(topo(), McsLock::new()), 4, 1_500);
+    }
+
+    #[test]
+    fn gcr_c_bo_mcs_mutual_exclusion() {
+        let topo = topo();
+        stress(
+            GcrCBoMcs::over(Arc::clone(&topo), CBoMcs::new(Arc::clone(&topo))),
+            4,
+            1_500,
+        );
+    }
+
+    #[test]
+    fn gcr_fis_bo_mcs_mutual_exclusion() {
+        let topo = topo();
+        stress(
+            GcrFisBoMcs::over(Arc::clone(&topo), FisBoMcs::new(Arc::clone(&topo))),
+            4,
+            1_500,
+        );
     }
 
     #[test]

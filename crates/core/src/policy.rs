@@ -74,6 +74,12 @@ pub struct CohortStats {
     /// path; 0 for plain cohort locks (whose every acquisition is
     /// already accounted in `per_cluster`).
     pub slow_acquisitions: u64,
+    /// Arrivals a GCR admission layer diverted to a passive list (see
+    /// `cohort::gcr`); 0 for unwrapped locks.
+    pub passive_parks: u64,
+    /// Parked threads a GCR admission layer's rotation promoted into the
+    /// active set; 0 for unwrapped locks.
+    pub promotions: u64,
 }
 
 impl CohortStats {
@@ -109,6 +115,49 @@ impl CohortStats {
         } else {
             self.per_cluster.iter().map(|c| c.sum_streak).sum::<u64>() as f64 / releases as f64
         }
+    }
+
+    /// Folds `other` into `self`: per-cluster counters add pairwise
+    /// (`max_streak` takes the max; a length mismatch keeps the longer
+    /// vector's tail as-is), and the scalar counters — fast/slow splits
+    /// and the GCR passive-park/promotion counters — add. Used to
+    /// aggregate snapshots across sharded or per-instance locks.
+    pub fn merge(&mut self, other: &CohortStats) {
+        if self.per_cluster.len() < other.per_cluster.len() {
+            self.per_cluster
+                .resize(other.per_cluster.len(), ClusterStats::default());
+        }
+        for (mine, theirs) in self.per_cluster.iter_mut().zip(&other.per_cluster) {
+            mine.tenures += theirs.tenures;
+            mine.local_handoffs += theirs.local_handoffs;
+            mine.global_releases += theirs.global_releases;
+            mine.max_streak = mine.max_streak.max(theirs.max_streak);
+            mine.sum_streak += theirs.sum_streak;
+        }
+        self.fast_acquisitions += other.fast_acquisitions;
+        self.slow_acquisitions += other.slow_acquisitions;
+        self.passive_parks += other.passive_parks;
+        self.promotions += other.promotions;
+    }
+}
+
+impl fmt::Display for CohortStats {
+    /// One-line human summary, all layers included: tenure/handoff
+    /// aggregates, the fissile fast/slow split, and the GCR
+    /// park/promotion counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tenures {} local {} (mean streak {:.1}, max {}) fast {} slow {} parks {} promotions {}",
+            self.tenures(),
+            self.local_handoffs(),
+            self.mean_streak(),
+            self.max_streak(),
+            self.fast_acquisitions,
+            self.slow_acquisitions,
+            self.passive_parks,
+            self.promotions,
+        )
     }
 }
 
@@ -1196,6 +1245,73 @@ mod tests {
         assert_eq!(s.max_streak(), 2);
         assert_eq!(s.mean_streak(), 1.0);
         assert_eq!(s.per_cluster[1].local_handoffs, 0);
+    }
+
+    #[test]
+    fn stats_merge_folds_every_layer() {
+        let mut a = CohortStats {
+            per_cluster: vec![ClusterStats {
+                tenures: 2,
+                local_handoffs: 5,
+                global_releases: 2,
+                max_streak: 3,
+                sum_streak: 5,
+            }],
+            fast_acquisitions: 10,
+            slow_acquisitions: 7,
+            passive_parks: 4,
+            promotions: 1,
+        };
+        let b = CohortStats {
+            per_cluster: vec![
+                ClusterStats {
+                    tenures: 1,
+                    local_handoffs: 9,
+                    global_releases: 1,
+                    max_streak: 9,
+                    sum_streak: 9,
+                },
+                ClusterStats {
+                    tenures: 3,
+                    ..ClusterStats::default()
+                },
+            ],
+            fast_acquisitions: 1,
+            slow_acquisitions: 2,
+            passive_parks: 6,
+            promotions: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.per_cluster.len(), 2, "grows to the longer snapshot");
+        assert_eq!(a.per_cluster[0].tenures, 3);
+        assert_eq!(a.per_cluster[0].local_handoffs, 14);
+        assert_eq!(a.per_cluster[0].max_streak, 9, "max, not sum");
+        assert_eq!(a.per_cluster[1].tenures, 3, "tail adopted as-is");
+        assert_eq!(a.fast_acquisitions, 11);
+        assert_eq!(a.slow_acquisitions, 9);
+        assert_eq!(a.passive_parks, 10);
+        assert_eq!(a.promotions, 6);
+    }
+
+    #[test]
+    fn stats_display_includes_gcr_counters() {
+        let s = CohortStats {
+            per_cluster: vec![ClusterStats {
+                tenures: 2,
+                local_handoffs: 6,
+                global_releases: 2,
+                max_streak: 4,
+                sum_streak: 6,
+            }],
+            fast_acquisitions: 3,
+            slow_acquisitions: 8,
+            passive_parks: 5,
+            promotions: 2,
+        };
+        assert_eq!(
+            s.to_string(),
+            "tenures 2 local 6 (mean streak 3.0, max 4) fast 3 slow 8 parks 5 promotions 2"
+        );
     }
 
     #[test]

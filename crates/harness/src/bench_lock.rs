@@ -194,6 +194,20 @@ where
     }
 }
 
+// The GCR admission wrapper reports whatever its inner lock reports
+// (via `cohort::GcrInner`), with its own passive-park and promotion
+// counters folded into the snapshot; plain inner locks contribute an
+// empty snapshot and no policy label.
+impl<K: cohort::GcrInner> HasCohortStats for cohort::GcrLock<K> {
+    fn stats(&self) -> CohortStats {
+        self.cohort_stats()
+    }
+
+    fn policy_label(&self) -> String {
+        self.policy_label().unwrap_or_else(|| "-".into())
+    }
+}
+
 /// [`RawAdapter`] for cohort locks: additionally surfaces
 /// [`BenchLock::cohort_stats`].
 pub struct CohortAdapter<L: RawLock + HasCohortStats> {

@@ -36,6 +36,18 @@ pub enum EnvKnobError {
         /// What the knob accepts, e.g. `"a positive integer"`.
         expected: &'static str,
     },
+    /// A range-checked numeric knob parsed but fell outside its
+    /// `min..=max` bounds.
+    Range {
+        /// The knob being parsed.
+        knob: String,
+        /// The rejected value.
+        value: String,
+        /// Smallest accepted value.
+        min: u64,
+        /// Largest accepted value.
+        max: u64,
+    },
     /// A policy knob failed [`PolicySpec::parse`].
     Policy {
         /// The knob being parsed.
@@ -75,6 +87,16 @@ impl fmt::Display for EnvKnobError {
             } => write!(
                 f,
                 "env knob {knob}: unrecognized value {value:?} (accepted: {expected})"
+            ),
+            EnvKnobError::Range {
+                knob,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "env knob {knob}: unrecognized value {value:?} \
+                 (accepted: an integer in {min}..={max})"
             ),
             EnvKnobError::Choice {
                 knob,
@@ -166,6 +188,27 @@ pub fn env_positive_u64(knob: &str) -> Result<Option<u64>, EnvKnobError> {
                 knob: knob.to_string(),
                 value: v,
                 expected: "a positive integer",
+            }),
+        },
+    }
+}
+
+/// Range-checked `u64` knob (`LBENCH_GCR_EPOCH_US`, `LBENCH_CLUSTERS`):
+/// unset ⇒ `None`; a malformed value or one outside `range` is an error
+/// naming the knob and the accepted `min..=max` bounds.
+pub fn env_range_u64(
+    knob: &str,
+    range: std::ops::RangeInclusive<u64>,
+) -> Result<Option<u64>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(n) if range.contains(&n) => Ok(Some(n)),
+            _ => Err(EnvKnobError::Range {
+                knob: knob.to_string(),
+                value: v,
+                min: *range.start(),
+                max: *range.end(),
             }),
         },
     }
@@ -374,6 +417,24 @@ mod tests {
             .to_string();
         assert!(msg.contains("positive"), "{msg}");
         std::env::remove_var("LBENCH_TEST_PU64");
+    }
+
+    #[test]
+    fn range_knob_enforces_bounds_and_names_them() {
+        let _g = env_guard();
+        assert_eq!(env_range_u64("LBENCH_TEST_RANGE_UNSET", 1..=32), Ok(None));
+        std::env::set_var("LBENCH_TEST_RANGE", "8");
+        assert_eq!(env_range_u64("LBENCH_TEST_RANGE", 1..=32), Ok(Some(8)));
+        for bad in ["0", "33", "eight"] {
+            std::env::set_var("LBENCH_TEST_RANGE", bad);
+            let msg = env_range_u64("LBENCH_TEST_RANGE", 1..=32)
+                .unwrap_err()
+                .to_string();
+            assert!(msg.contains("LBENCH_TEST_RANGE"), "{msg}");
+            assert!(msg.contains(&format!("{bad:?}")), "{msg}");
+            assert!(msg.contains("1..=32"), "{msg}");
+        }
+        std::env::remove_var("LBENCH_TEST_RANGE");
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::bench_lock::{
 use crate::bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 use cohort::{
     AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt, CohortLock, CohortRwLock, DynPolicy,
-    FisBoMcs, FisTktMcs, FissileLock, GlobalBoLock, LocalAClhLock, LocalAboLock, LocalBoLock,
-    LocalMcsLock, LocalTicketLock, PolicySpec, RwFairness,
+    FisBoMcs, FisTktMcs, FissileLock, GcrLock, GlobalBoLock, LocalAClhLock, LocalAboLock,
+    LocalBoLock, LocalMcsLock, LocalTicketLock, PolicySpec, RwFairness,
 };
 use numa_baselines::{CnaLock, FcMcsLock, HboLock, HboParams, HclhLock};
 use numa_topology::Topology;
@@ -44,6 +44,12 @@ pub enum LockKind {
     // a TATAS word tried first, the cohort composition underneath.
     FisBoMcs,
     FisTktMcs,
+    // GCR admission wrappers (Dice & Kogan, arXiv:1905.10818): a
+    // concurrency-restriction layer over a plain queue lock, the paper's
+    // best cohort lock, and the fissile fast-path lock.
+    GcrMcs,
+    GcrCBoMcs,
+    GcrFisBoMcs,
     // Abortable locks (Figure 6).
     AClh,
     AHbo,
@@ -74,6 +80,9 @@ impl LockKind {
             LockKind::CMcsMcs => "C-MCS-MCS",
             LockKind::FisBoMcs => "Fis-BO-MCS",
             LockKind::FisTktMcs => "Fis-TKT-MCS",
+            LockKind::GcrMcs => "GCR-MCS",
+            LockKind::GcrCBoMcs => "GCR-C-BO-MCS",
+            LockKind::GcrFisBoMcs => "GCR-Fis-BO-MCS",
             LockKind::AClh => "A-CLH",
             LockKind::AHbo => "A-HBO",
             LockKind::ACBoBo => "A-C-BO-BO",
@@ -123,11 +132,25 @@ impl LockKind {
         }
     }
 
+    /// Whether this is a GCR admission wrapper (a concurrency-restriction
+    /// layer over some inner lock — see `cohort::gcr`; park/promotion
+    /// accounting shows up in its `CohortStats`).
+    pub fn is_gcr(self) -> bool {
+        matches!(
+            self,
+            LockKind::GcrMcs | LockKind::GcrCBoMcs | LockKind::GcrFisBoMcs
+        )
+    }
+
     /// Whether a [`PolicySpec`] applies to this kind — the cohort locks,
-    /// the CNA family, *and* the fissile wrappers (whose slow path is a
-    /// cohort lock) share the handoff-policy knob.
+    /// the CNA family, the fissile wrappers (whose slow path is a cohort
+    /// lock), and the GCR wrappers over policy-driven inner locks share
+    /// the handoff-policy knob.
     pub fn has_policy_knob(self) -> bool {
-        self.is_cohort() || self.is_cna() || self.is_fissile()
+        self.is_cohort()
+            || self.is_cna()
+            || self.is_fissile()
+            || matches!(self, LockKind::GcrCBoMcs | LockKind::GcrFisBoMcs)
     }
 
     /// Instantiates the lock over `topo`.
@@ -161,6 +184,18 @@ impl LockKind {
             LockKind::CMcsMcs => Arc::new(CohortAdapter::new(CMcsMcs::new(Arc::clone(topo)))),
             LockKind::FisBoMcs => Arc::new(CohortAdapter::new(FisBoMcs::new(Arc::clone(topo)))),
             LockKind::FisTktMcs => Arc::new(CohortAdapter::new(FisTktMcs::new(Arc::clone(topo)))),
+            LockKind::GcrMcs => Arc::new(CohortAdapter::new(GcrLock::over(
+                Arc::clone(topo),
+                base_locks::McsLock::new(),
+            ))),
+            LockKind::GcrCBoMcs => Arc::new(CohortAdapter::new(GcrLock::over(
+                Arc::clone(topo),
+                CBoMcs::new(Arc::clone(topo)),
+            ))),
+            LockKind::GcrFisBoMcs => Arc::new(CohortAdapter::new(GcrLock::over(
+                Arc::clone(topo),
+                FisBoMcs::new(Arc::clone(topo)),
+            ))),
             LockKind::AClh => Arc::new(AbortableAdapter::new(base_locks::AbortableClhLock::new())),
             LockKind::AHbo => Arc::new(AbortableAdapter::new(HboLock::with_params(
                 Arc::clone(topo),
@@ -232,6 +267,32 @@ impl LockKind {
                 ),
             ))
         }
+        fn gcr_cohort<G, L>(topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock>
+        where
+            G: cohort::GlobalLock + Default + 'static,
+            L: cohort::LocalCohortLock + Default + 'static,
+        {
+            Arc::new(CohortAdapter::new(GcrLock::over(
+                Arc::clone(topo),
+                CohortLock::<G, L, DynPolicy>::with_handoff_policy(
+                    Arc::clone(topo),
+                    policy.build(),
+                ),
+            )))
+        }
+        fn gcr_fissile<G, L>(topo: &Arc<Topology>, policy: PolicySpec) -> Arc<dyn BenchLock>
+        where
+            G: cohort::GlobalLock + Default + 'static,
+            L: cohort::LocalCohortLock + Default + 'static,
+        {
+            Arc::new(CohortAdapter::new(GcrLock::over(
+                Arc::clone(topo),
+                FissileLock::<G, L, DynPolicy>::with_handoff_policy(
+                    Arc::clone(topo),
+                    policy.build(),
+                ),
+            )))
+        }
         match self {
             LockKind::CBoBo => cohort::<GlobalBoLock, LocalBoLock>(topo, policy),
             LockKind::CTktTkt => cohort::<base_locks::TicketLock, LocalTicketLock>(topo, policy),
@@ -240,6 +301,8 @@ impl LockKind {
             LockKind::CMcsMcs => cohort::<base_locks::McsLock, LocalMcsLock>(topo, policy),
             LockKind::FisBoMcs => fissile::<GlobalBoLock, LocalMcsLock>(topo, policy),
             LockKind::FisTktMcs => fissile::<base_locks::TicketLock, LocalMcsLock>(topo, policy),
+            LockKind::GcrCBoMcs => gcr_cohort::<GlobalBoLock, LocalMcsLock>(topo, policy),
+            LockKind::GcrFisBoMcs => gcr_fissile::<GlobalBoLock, LocalMcsLock>(topo, policy),
             LockKind::ACBoBo => abortable::<GlobalBoLock, LocalAboLock>(topo, policy),
             LockKind::ACBoClh => abortable::<GlobalBoLock, LocalAClhLock>(topo, policy),
             LockKind::Cna | LockKind::CnaTight => Arc::new(CohortAdapter::new(
@@ -290,10 +353,22 @@ impl LockKind {
         LockKind::FisBoMcs,
     ];
 
+    /// The comparison set of the `fig_gcr` exhibit: each GCR wrapper
+    /// next to its bare inner lock, so the oversubscription sweep shows
+    /// what admission restriction buys (and what it costs uncontended).
+    pub const FIG_GCR: [LockKind; 6] = [
+        LockKind::Mcs,
+        LockKind::GcrMcs,
+        LockKind::CBoMcs,
+        LockKind::GcrCBoMcs,
+        LockKind::FisBoMcs,
+        LockKind::GcrFisBoMcs,
+    ];
+
     /// Every registered kind, in registry order — the sweep set of the
     /// `lock_latency` criterion bench (uncontended overhead is measured
     /// per lock, so a kind missing here escapes regression tracking).
-    pub const ALL: [LockKind; 23] = [
+    pub const ALL: [LockKind; 26] = [
         LockKind::Pthread,
         LockKind::Tatas,
         LockKind::FibBo,
@@ -313,6 +388,9 @@ impl LockKind {
         LockKind::CMcsMcs,
         LockKind::FisBoMcs,
         LockKind::FisTktMcs,
+        LockKind::GcrMcs,
+        LockKind::GcrCBoMcs,
+        LockKind::GcrFisBoMcs,
         LockKind::AClh,
         LockKind::AHbo,
         LockKind::ACBoBo,
@@ -610,6 +688,9 @@ mod tests {
                 | LockKind::CMcsMcs
                 | LockKind::FisBoMcs
                 | LockKind::FisTktMcs
+                | LockKind::GcrMcs
+                | LockKind::GcrCBoMcs
+                | LockKind::GcrFisBoMcs
                 | LockKind::AClh
                 | LockKind::AHbo
                 | LockKind::ACBoBo
@@ -652,6 +733,16 @@ mod tests {
         assert!(!LockKind::FisBoMcs.is_cohort());
         assert!(!LockKind::FisBoMcs.is_cna());
         assert!(!LockKind::Tatas.is_fissile());
+        // GCR wrappers are their own family: the policy knob applies
+        // only where the wrapped lock is policy-driven.
+        assert!(LockKind::GcrMcs.is_gcr());
+        assert!(LockKind::GcrCBoMcs.is_gcr());
+        assert!(!LockKind::GcrMcs.has_policy_knob());
+        assert!(LockKind::GcrCBoMcs.has_policy_knob());
+        assert!(LockKind::GcrFisBoMcs.has_policy_knob());
+        assert!(!LockKind::GcrCBoMcs.is_cohort());
+        assert!(!LockKind::GcrFisBoMcs.is_fissile());
+        assert!(!LockKind::Mcs.is_gcr());
         assert_eq!(LockKind::Cna.cna_threshold(), Some(64));
         assert_eq!(
             LockKind::CnaTight.cna_threshold(),
@@ -700,6 +791,35 @@ mod tests {
         let lock = LockKind::FisBoMcs
             .make_with_optional_policy(&topo, Some(PolicySpec::Time { budget_ns: 7 }));
         assert_eq!(lock.policy_label().as_deref(), Some("time(7ns)"));
+    }
+
+    #[test]
+    fn gcr_kinds_report_admission_accounting() {
+        let topo = Arc::new(Topology::new(4));
+        for kind in [LockKind::GcrMcs, LockKind::GcrCBoMcs, LockKind::GcrFisBoMcs] {
+            let lock = kind.make(&topo);
+            lock.acquire();
+            lock.release();
+            let stats = lock.cohort_stats().expect("GCR kinds expose stats");
+            assert_eq!(stats.passive_parks, 0, "{kind}: uncontended never parks");
+            assert_eq!(stats.promotions, 0, "{kind}");
+        }
+        // The inner lock's own accounting passes through the wrapper.
+        let lock = LockKind::GcrCBoMcs.make(&topo);
+        lock.acquire();
+        lock.release();
+        let stats = lock.cohort_stats().unwrap();
+        assert_eq!(stats.tenures(), 1, "inner cohort tenure visible");
+        assert_eq!(lock.policy_label().as_deref(), Some("count(64)"));
+        // A plain inner lock has no policy: the adapter reports "-".
+        assert_eq!(
+            LockKind::GcrMcs.make(&topo).policy_label().as_deref(),
+            Some("-")
+        );
+        // The policy knob reaches the wrapped lock like any cohort kind.
+        let lock = LockKind::GcrFisBoMcs
+            .make_with_optional_policy(&topo, Some(PolicySpec::Time { budget_ns: 5 }));
+        assert_eq!(lock.policy_label().as_deref(), Some("time(5ns)"));
     }
 
     #[test]
@@ -822,6 +942,8 @@ mod tests {
             LockKind::CMcsMcs,
             LockKind::FisBoMcs,
             LockKind::FisTktMcs,
+            LockKind::GcrCBoMcs,
+            LockKind::GcrFisBoMcs,
             LockKind::ACBoBo,
             LockKind::ACBoClh,
             LockKind::Cna,

@@ -309,6 +309,12 @@ pub struct ScenarioResult {
     /// Slow-path (cohort) acquisitions of a fissile lock — 0 for every
     /// other kind.
     pub slow_acquisitions: u64,
+    /// Arrivals a GCR admission layer parked on a passive list — 0 for
+    /// unwrapped kinds.
+    pub passive_parks: u64,
+    /// Parked threads a GCR rotation promoted into the active set — 0
+    /// for unwrapped kinds.
+    pub promotions: u64,
     /// Power-of-two histogram of same-cluster batch lengths.
     pub batch_hist: Vec<u64>,
     /// Median modelled acquisition latency (exclusive acquisitions, ns).
@@ -407,6 +413,8 @@ impl ScenarioResult {
             migrations_per_tenure: 0.0,
             fast_acquisitions: 0,
             slow_acquisitions: 0,
+            passive_parks: 0,
+            promotions: 0,
             batch_hist: Vec::new(),
             lat_p50_ns: 0,
             lat_p99_ns: 0,
@@ -826,6 +834,8 @@ pub fn run_scenario_on(
         },
         fast_acquisitions: cstats.as_ref().map_or(0, |s| s.fast_acquisitions),
         slow_acquisitions: cstats.as_ref().map_or(0, |s| s.slow_acquisitions),
+        passive_parks: cstats.as_ref().map_or(0, |s| s.passive_parks),
+        promotions: cstats.as_ref().map_or(0, |s| s.promotions),
         batch_hist: handoff.batches().snapshot().to_vec(),
         lat_p50_ns: percentile(&lat, 50.0),
         lat_p99_ns: percentile(&lat, 99.0),

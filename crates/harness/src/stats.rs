@@ -63,14 +63,24 @@ pub fn geomean_positive(xs: &[f64]) -> (Option<f64>, usize) {
 /// as the four-digit `1000.0e3/s` (and `999.7` as `1.0e3/s`, not
 /// `1000/s`).
 pub fn fmt_throughput(t: f64) -> String {
+    format!("{}/s", fmt_throughput_raw(t))
+}
+
+/// The unit-less body of [`fmt_throughput`]: the same boundary-correct
+/// promotion, without the `/s` suffix. The output stays float-parseable
+/// (`"2.55e6"`, `"487.2e3"`, `"87"`), so it is safe in CSV fields —
+/// both emit paths (printed tables and CSVs) must promote at the same
+/// boundaries or a figure reads differently depending on which file you
+/// look at.
+pub fn fmt_throughput_raw(t: f64) -> String {
     if t >= 999_950.0 {
         // {:.1} of t/1e3 would round to 1000.0 from here on.
-        format!("{:.2}e6/s", t / 1e6)
+        format!("{:.2}e6", t / 1e6)
     } else if t >= 999.5 {
         // {:.0} of t would round to 1000 from here on.
-        format!("{:.1}e3/s", t / 1e3)
+        format!("{:.1}e3", t / 1e3)
     } else {
-        format!("{t:.0}/s")
+        format!("{t:.0}")
     }
 }
 
@@ -144,5 +154,21 @@ mod tests {
         assert_eq!(fmt_throughput(999_949.0), "999.9e3/s");
         assert_eq!(fmt_throughput(999.7), "1.0e3/s");
         assert_eq!(fmt_throughput(999.4), "999/s");
+    }
+
+    #[test]
+    fn raw_formatting_promotes_at_the_same_boundaries() {
+        // The CSV emit path must agree with the printed table: same
+        // promotion boundaries, no unit suffix, float-parseable output.
+        assert_eq!(fmt_throughput_raw(2_550_000.0), "2.55e6");
+        assert_eq!(fmt_throughput_raw(487_200.0), "487.2e3");
+        assert_eq!(fmt_throughput_raw(999_960.0), "1.00e6");
+        assert_eq!(fmt_throughput_raw(999.7), "1.0e3");
+        assert_eq!(fmt_throughput_raw(87.0), "87");
+        for v in [2_550_000.0, 487_200.0, 999_960.0, 87.0] {
+            assert_eq!(fmt_throughput(v), format!("{}/s", fmt_throughput_raw(v)));
+            let parsed: f64 = fmt_throughput_raw(v).parse().unwrap();
+            assert!((parsed - v).abs() / v < 0.01, "{v} -> {parsed}");
+        }
     }
 }

@@ -6,9 +6,9 @@
 
 use base_locks::{McsLock, RawLock, TicketLock};
 use cohort::{
-    AdaptiveBound, CohortLock, CohortStats, CountBound, FissileLock, GlobalBoLock, GlobalLock,
-    HandoffPolicy, LocalAClhLock, LocalAboLock, LocalBoLock, LocalCohortLock, LocalMcsLock,
-    LocalTicketLock, NeverPass, PolicySpec, TimeBound, Unbounded,
+    AdaptiveBound, CohortLock, CohortStats, CountBound, FissileLock, GcrLock, GlobalBoLock,
+    GlobalLock, HandoffPolicy, LocalAClhLock, LocalAboLock, LocalBoLock, LocalCohortLock,
+    LocalMcsLock, LocalTicketLock, NeverPass, PolicySpec, TimeBound, Unbounded,
 };
 use numa_baselines::CnaLock;
 use numa_topology::Topology;
@@ -234,6 +234,79 @@ fn fissile_under_every_policy_family_keeps_exclusion_and_balance() {
             stats.slow_acquisitions,
             "{spec}: slow-path conservation"
         );
+        if let PolicySpec::Count { bound } = spec {
+            assert!(stats.max_streak() <= bound, "{spec}");
+        }
+        if spec == PolicySpec::NeverPass {
+            assert_eq!(stats.local_handoffs(), 0, "{spec}");
+        }
+    }
+}
+
+#[test]
+fn gcr_wrapper_under_every_policy_family_keeps_exclusion_and_balance() {
+    // The GCR admission layer wraps the cohort lock without touching its
+    // exclusion or its policy machinery: under every policy family the
+    // wrapped lock must keep mutual exclusion and the cohort
+    // conservation invariants, with the admission ledger balanced on
+    // top (promotions never exceed parks; every sticky grant is given
+    // back when its thread exits).
+    let specs = [
+        PolicySpec::Count { bound: 64 },
+        PolicySpec::Count { bound: 2 },
+        PolicySpec::Time { budget_ns: 30_000 },
+        PolicySpec::Adaptive { min: 4, max: 128 },
+        PolicySpec::NeverPass,
+        PolicySpec::Unbounded,
+    ];
+    for spec in specs {
+        let topo = Arc::new(Topology::new(4));
+        let lock = Arc::new(GcrLock::over(
+            Arc::clone(&topo),
+            CohortLock::<GlobalBoLock, LocalMcsLock, _>::with_handoff_policy(
+                Arc::clone(&topo),
+                spec.build(),
+            ),
+        ));
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4u64)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        let t = lock.lock();
+                        let va = a.load(Ordering::Relaxed);
+                        let vb = b.load(Ordering::Relaxed);
+                        assert_eq!(va, vb, "critical section raced under {spec}");
+                        a.store(va + 1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                        b.store(vb + 1, Ordering::Relaxed);
+                        unsafe { lock.unlock(t) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::Relaxed), 1_000, "{spec}");
+        let stats = lock.cohort_stats();
+        assert_eq!(stats.tenures(), stats.global_releases(), "{spec}");
+        assert_eq!(
+            stats.tenures() + stats.local_handoffs(),
+            1_000,
+            "{spec}: every acquisition reached the inner cohort lock"
+        );
+        assert!(
+            stats.promotions <= stats.passive_parks,
+            "{spec}: promotions exceed park events"
+        );
+        for c in 0..4 {
+            assert_eq!(lock.active_in(c), 0, "{spec}: cluster {c} leaked slots");
+        }
         if let PolicySpec::Count { bound } = spec {
             assert!(stats.max_streak() <= bound, "{spec}");
         }

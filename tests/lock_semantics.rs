@@ -2,7 +2,7 @@
 //! tokens crossing threads, guards over cohort locks, registry coverage.
 
 use base_locks::{RawLock, SpinMutex};
-use cohort::{CBoMcs, CTktTkt, FisBoMcs, GlobalLock};
+use cohort::{CBoMcs, CTktTkt, FisBoMcs, GcrCBoMcs, GlobalLock};
 use lbench::LockKind;
 use numa_topology::Topology;
 use std::sync::Arc;
@@ -76,6 +76,9 @@ fn every_registry_lock_supports_nested_distinct_instances() {
         LockKind::FisBoMcs,
         LockKind::FisTktMcs,
         LockKind::ACBoClh,
+        LockKind::GcrMcs,
+        LockKind::GcrCBoMcs,
+        LockKind::GcrFisBoMcs,
     ] {
         let a = kind.make(&topo);
         let b = kind.make(&topo);
@@ -114,6 +117,43 @@ fn fissile_mutex_guard_and_try_lock_semantics() {
     let l = FisBoMcs::new(topo);
     let t = l.try_lock().expect("free word");
     assert!(l.try_lock().is_none(), "held word reports busy");
+    unsafe { l.unlock(t) };
+}
+
+#[test]
+fn gcr_mutex_guard_and_try_lock_semantics() {
+    // The admission wrapper behind the same RAII guard as every other
+    // composition: sticky grants, promotions, and self-deactivation all
+    // stay invisible to the guard user, and try_lock is exactly the
+    // inner lock's probe (never parks, never takes a grant).
+    let topo = Arc::new(Topology::new(4));
+    let m: Arc<SpinMutex<u64, GcrCBoMcs>> = Arc::new(SpinMutex::with_lock(
+        GcrCBoMcs::over(Arc::clone(&topo), CBoMcs::new(Arc::clone(&topo))),
+        0,
+    ));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    *m.lock() += 1;
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*m.lock(), 2_000);
+    // The inner cohort lock's counters pass through the wrapper and
+    // conserve: every acquisition started a tenure or inherited one.
+    let s = m.raw().cohort_stats();
+    assert_eq!(s.tenures() + s.local_handoffs(), 2_001);
+
+    let l = GcrCBoMcs::over(Arc::clone(&topo), CBoMcs::new(topo));
+    let t = l.try_lock().expect("free lock");
+    assert!(l.try_lock().is_none(), "held inner lock reports busy");
     unsafe { l.unlock(t) };
 }
 
