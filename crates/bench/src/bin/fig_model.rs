@@ -1,0 +1,24 @@
+//! Exhibit Model: deterministic modelled-coherence cells with exact
+//! self-checks.
+//!
+//! Every cell runs in modelled cost mode — a single-threaded
+//! discrete-event simulation under `CostModel::disaggregated` (remote
+//! transfers ≈ 40× local, the disaggregated-memory regime) — so two
+//! runs of this binary produce **byte-identical** `fig_model.csv`
+//! files, and the self-checks are exact statements rather than noise
+//! floors. The cells, lock set, row schema, and checks all live in
+//! [`mod@cohort_bench::model_exhibit`], shared with the
+//! `modelled_determinism` integration test; see that module's docs for
+//! the full rationale.
+//!
+//! Environment: the usual `LBENCH_CLUSTERS` / `LBENCH_WINDOW_MS` /
+//! `RESULTS_DIR` knobs (strict parsing). The committed
+//! `results/fig_model.csv` was generated with the defaults and
+//! regenerates byte-identically on any machine — modelled time has no
+//! hardware in it.
+
+use cohort_bench::{exhibit_main, model_exhibit};
+
+fn main() {
+    exhibit_main(model_exhibit());
+}

@@ -16,6 +16,9 @@
 //! * `LBENCH_WINDOW_MS` — virtual measurement window per cell in
 //!   milliseconds (default 10; the paper measured 60 s of wall time).
 //! * `LBENCH_CLUSTERS` — NUMA clusters (default 4, the T5440).
+//! * `LBENCH_COST_MODE` — `realtime` (default) or `modelled`: switches
+//!   the scenario exhibits to the deterministic modelled-coherence
+//!   substrate (see [`cost_mode`]).
 //! * `RESULTS_DIR` — where CSV copies are written (default `results/`).
 //!
 //! Knob parsing is strict (`lbench::env`): a present-but-malformed value
@@ -24,6 +27,7 @@
 
 pub mod exhibit;
 pub mod grid;
+pub mod model_exhibit;
 pub mod schema;
 
 pub use exhibit::{
@@ -31,11 +35,16 @@ pub use exhibit::{
     Exhibit, Measure, Measurement, TableSpec,
 };
 pub use grid::{emit, Cell, Grid};
-
-use lbench::env::{
-    env_positive_usize, env_positive_usize_list, env_range_u64, env_u64, EnvKnobError,
+pub use model_exhibit::{
+    measure_model_cell, model_cells, model_cells_at, model_csv_row, model_exhibit, model_locks,
+    ModelCell,
 };
-use lbench::LBenchConfig;
+
+use coherence_sim::CostModel;
+use lbench::env::{
+    env_choice, env_positive_usize, env_positive_usize_list, env_range_u64, env_u64, EnvKnobError,
+};
+use lbench::{CostMode, LBenchConfig};
 use std::time::Duration;
 
 /// Unwraps an env-knob parse, aborting the binary with the knob-naming
@@ -78,6 +87,19 @@ pub fn base_config(threads: usize) -> LBenchConfig {
         window_ns: window_ns(),
         max_wall: Duration::from_secs(60),
         ..Default::default()
+    }
+}
+
+/// Cost mode for the scenario exhibits (`LBENCH_COST_MODE`):
+/// `realtime` (the default — real threads, modelled prices) or
+/// `modelled` (the deterministic discrete-event substrate under
+/// [`CostModel::disaggregated`]; two runs of the same cell then produce
+/// byte-identical CSVs). Any other value aborts through the strict knob
+/// path, naming the accepted spellings.
+pub fn cost_mode() -> CostMode {
+    match knob_or_die(env_choice("LBENCH_COST_MODE", &["realtime", "modelled"])) {
+        Some("modelled") => CostMode::Modelled(CostModel::disaggregated()),
+        _ => CostMode::RealTime,
     }
 }
 

@@ -54,6 +54,17 @@ pub const FIG_GCR_HEADER: &str = "lock,oversub,threads,clusters,throughput,acqui
      migrations,misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,fast_acqs,\
      slow_acqs,passive_parks,promotions,policy";
 
+/// Header of `fig_model.csv` (written by the `fig_model` binary): one
+/// row per modelled cell × lock. Every column is deterministic — the
+/// modelled cost mode is bit-reproducible run to run, so the file
+/// deliberately carries **no wall-clock column** (the one field the
+/// determinism contract excludes) and the committed copy under
+/// `results/` regenerates byte-identically on any machine.
+pub const FIG_MODEL_HEADER: &str = "scenario,lock,threads,clusters,read_pct,throughput,\
+     total_ops,read_ops,write_ops,acquisitions,migrations,remote_misses,misses_per_cs,\
+     mean_batch,batch_p50,tenures,local_handoffs,mean_streak,max_streak,aborts,\
+     lat_p50_ns,lat_p99_ns,policy";
+
 /// Header of the policy-sweep CSVs (`ablation_policy.csv`,
 /// `ablation_handoff.csv`; rows built by [`crate::policy_csv_row`]).
 pub const POLICY_HEADER: &str = "lock,policy,threads,throughput,stddev_pct,mean_batch,\
@@ -70,6 +81,7 @@ pub fn expected_header(file_name: &str) -> Option<String> {
         "fig_fissile.csv" => Some(FIG_FISSILE_HEADER.to_string()),
         "fig_gcr.csv" => Some(FIG_GCR_HEADER.to_string()),
         "fig_scenarios.csv" => Some(FIG_SCENARIOS_HEADER.to_string()),
+        "fig_model.csv" => Some(FIG_MODEL_HEADER.to_string()),
         "ablation_policy.csv" | "ablation_handoff.csv" => Some(POLICY_HEADER.to_string()),
         "fig2_throughput.csv"
         | "fig2_lat_p50.csv"
@@ -141,6 +153,7 @@ mod tests {
             FIG_FISSILE_HEADER,
             FIG_GCR_HEADER,
             FIG_SCENARIOS_HEADER,
+            FIG_MODEL_HEADER,
             POLICY_HEADER,
         ] {
             assert!(!h.contains(' '), "continuation indent leaked: {h}");
@@ -164,6 +177,17 @@ mod tests {
             "{gcr}"
         );
         assert!(gcr.ends_with("policy"), "{gcr}");
+    }
+
+    #[test]
+    fn model_header_is_wall_free_and_pinned() {
+        let m = expected_header("fig_model.csv").unwrap();
+        assert!(m.starts_with("scenario,lock,threads,clusters,"), "{m}");
+        assert!(m.contains("remote_misses,misses_per_cs"), "{m}");
+        assert!(m.contains("batch_p50"), "{m}");
+        assert!(m.ends_with("policy"), "{m}");
+        // The determinism contract excludes exactly one field: real time.
+        assert!(!m.contains("wall"), "{m}");
     }
 
     #[test]

@@ -55,6 +55,24 @@ impl CostModel {
         }
     }
 
+    /// A disaggregated-memory machine (GCS/Soul territory, arXiv
+    /// 2301.02576): the "remote cluster" is a memory blade reached over a
+    /// fabric, so a coherence miss costs **≈ 40× a local hit** instead of
+    /// the T5440's 4×, and a lock migration drags the lock word across
+    /// the fabric too. At this ratio admission order dominates everything
+    /// else — the regime the modelled-coherence exhibits
+    /// (`fig_model`) run in, where cohort-vs-baseline separations are
+    /// wide enough to assert *exactly*.
+    pub const fn disaggregated() -> Self {
+        CostModel {
+            local_ns: 50,
+            remote_ns: 2_000,
+            cold_ns: 1_000,
+            local_handoff_ns: 60,
+            remote_handoff_ns: 2_400,
+        }
+    }
+
     /// A uniform-memory model (remote == local): useful to sanity-check
     /// that, absent NUMA effects, NUMA-aware and oblivious locks converge.
     pub const fn uniform(ns: u64) -> Self {
@@ -96,6 +114,14 @@ mod tests {
         assert!(m.remote_handoff_ns > m.local_handoff_ns);
         let light = CostModel::t5440_light();
         assert_eq!(light.remote_ns / light.local_ns, 4);
+    }
+
+    #[test]
+    fn disaggregated_remote_penalty_is_forty_x() {
+        let m = CostModel::disaggregated();
+        assert_eq!(m.remote_ns / m.local_ns, 40);
+        assert!(m.remote_handoff_ns / m.local_handoff_ns >= 40);
+        assert!(m.cold_ns < m.remote_ns, "cold fill beats a fabric miss");
     }
 
     #[test]

@@ -248,6 +248,33 @@ pub fn env_choice_list(
     }
 }
 
+/// Single-choice knob (`LBENCH_COST_MODE`): unset or blank ⇒ `None`; a
+/// value outside `allowed` is an error quoting it and the accepted
+/// names. Matching is case-insensitive; the canonical (`allowed`)
+/// spelling is returned.
+pub fn env_choice(
+    knob: &str,
+    allowed: &'static [&'static str],
+) -> Result<Option<&'static str>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => {
+            let part = v.trim();
+            if part.is_empty() {
+                return Ok(None);
+            }
+            match allowed.iter().find(|a| a.eq_ignore_ascii_case(part)) {
+                Some(&canonical) => Ok(Some(canonical)),
+                None => Err(EnvKnobError::Choice {
+                    knob: knob.to_string(),
+                    value: part.to_string(),
+                    allowed,
+                }),
+            }
+        }
+    }
+}
+
 /// Comma-separated positive-`usize` list knob (thread grids): unset or
 /// all-blank ⇒ `None`; any malformed or zero entry is an error quoting
 /// that entry.
@@ -403,6 +430,28 @@ mod tests {
         std::env::set_var("LBENCH_TEST_CHOICE", " , ");
         assert_eq!(env_choice_list("LBENCH_TEST_CHOICE", ALLOWED), Ok(None));
         std::env::remove_var("LBENCH_TEST_CHOICE");
+    }
+
+    #[test]
+    fn single_choice_knob_canonicalizes_and_rejects_unknown() {
+        let _g = env_guard();
+        const ALLOWED: &[&str] = &["realtime", "modelled"];
+        assert_eq!(env_choice("LBENCH_TEST_MODE_UNSET", ALLOWED), Ok(None));
+        std::env::set_var("LBENCH_TEST_MODE", " Modelled ");
+        assert_eq!(
+            env_choice("LBENCH_TEST_MODE", ALLOWED),
+            Ok(Some("modelled")),
+            "case-folded to the canonical spelling"
+        );
+        std::env::set_var("LBENCH_TEST_MODE", "simulated");
+        let msg = env_choice("LBENCH_TEST_MODE", ALLOWED)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("\"simulated\""), "{msg}");
+        assert!(msg.contains("realtime, modelled"), "{msg}");
+        std::env::set_var("LBENCH_TEST_MODE", "  ");
+        assert_eq!(env_choice("LBENCH_TEST_MODE", ALLOWED), Ok(None));
+        std::env::remove_var("LBENCH_TEST_MODE");
     }
 
     #[test]

@@ -37,12 +37,22 @@
 //! [`RwLockKind`] — through the single erased [`BenchRwLock`] interface
 //! ([`MutexAsRw`] subsumes every [`BenchLock`]). `run_lbench` and
 //! `run_rw_lbench` are thin compatibility wrappers over it.
+//!
+//! A scenario's [`CostMode`] selects the execution substrate: `RealTime`
+//! (real threads, modelled prices — the historical behaviour) or
+//! `Modelled` (a single-threaded discrete-event simulation over the same
+//! coherence cost model, bit-reproducible run to run — see the
+//! `modelled` module docs and ARCHITECTURE.md's "Modelled coherence
+//! mode"). The admission order a kind gets in modelled mode is published
+//! as [`AnyLockKind::modelled_admission`] ([`ModelledAdmission`],
+//! [`TenureLimit`]).
 
 #![deny(missing_docs)]
 
 mod bench_lock;
 mod bench_rwlock;
 pub mod env;
+mod modelled;
 pub mod pace;
 mod registry;
 mod runner;
@@ -56,9 +66,11 @@ pub use bench_lock::{
 pub use bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 pub use cohort::{CohortStats, PolicySpec};
 pub use env::EnvKnobError;
-pub use registry::{AnyLockKind, LockKind, RwLockKind};
+pub use registry::{AnyLockKind, LockKind, ModelledAdmission, RwLockKind, TenureLimit};
 pub use runner::{
     run_lbench, run_lbench_on, run_rw_lbench, LBenchConfig, LBenchResult, Placement, RwBenchResult,
     TimeMode,
 };
-pub use scenario::{run_scenario, run_scenario_on, LoadShape, Phase, Scenario, ScenarioResult};
+pub use scenario::{
+    run_scenario, run_scenario_on, CostMode, LoadShape, Phase, Scenario, ScenarioResult,
+};

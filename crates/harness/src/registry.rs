@@ -622,6 +622,90 @@ impl AnyLockKind {
     }
 }
 
+/// Tenure bound a [`ModelledAdmission::ClusterBatched`] kind honors: the
+/// deterministic projection of a [`PolicySpec`] onto the modelled runner
+/// (which has no real policy object to consult — admission is decided by
+/// the simulator, not the lock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenureLimit {
+    /// At most `n` consecutive same-cluster handoffs per tenure
+    /// ([`PolicySpec::Count`]; also [`PolicySpec::Adaptive`]'s ceiling —
+    /// the modelled machine has no contention signal to adapt to, so the
+    /// projection takes the widest batch the policy could ever grant).
+    Count(u64),
+    /// Tenure ends once it has consumed this much **virtual** time
+    /// ([`PolicySpec::Time`]; [`PolicySpec::WallTime`] maps here too —
+    /// modelled runs never read the wall clock, so the budget is
+    /// reinterpreted over virtual nanoseconds).
+    TimeNs(u64),
+    /// Local handoffs never forced to end ([`PolicySpec::Unbounded`]).
+    Unbounded,
+    /// Every handoff goes through the global lock
+    /// ([`PolicySpec::NeverPass`]): batching degenerates to FIFO.
+    Never,
+}
+
+impl TenureLimit {
+    /// Projects a [`PolicySpec`] onto the modelled runner.
+    pub fn from_policy(spec: PolicySpec) -> Self {
+        match spec {
+            PolicySpec::Count { bound } => TenureLimit::Count(bound),
+            PolicySpec::Time { budget_ns } | PolicySpec::WallTime { budget_ns } => {
+                TenureLimit::TimeNs(budget_ns)
+            }
+            PolicySpec::Adaptive { max, .. } => TenureLimit::Count(max),
+            PolicySpec::Unbounded => TenureLimit::Unbounded,
+            PolicySpec::NeverPass => TenureLimit::Never,
+        }
+    }
+}
+
+/// How the modelled-coherence runner (`CostMode::Modelled`) orders
+/// waiters for a kind — the *mechanism* abstraction behind the
+/// deterministic simulation: what distinguishes lock families in the
+/// model is only whether they prefer same-cluster waiters, exactly the
+/// property the paper's analysis (§4.1.2) reduces them to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelledAdmission {
+    /// Strict arrival order. Queue and backoff baselines, and also the
+    /// *prior* NUMA-aware locks (HBO/HCLH/FC-MCS): their locality
+    /// preference is emergent rather than policy-bounded, so the model
+    /// conservatively books them as FIFO — they appear as baselines, not
+    /// as cohort-equivalents, in modelled exhibits.
+    Fifo,
+    /// Prefer a same-cluster waiter while the tenure limit allows, then
+    /// hand off to the earliest waiter overall — the cohort family, CNA
+    /// (whose secondary queue is cluster batching by another name), the
+    /// fissile wrappers (slow path is a cohort lock), and the GCR
+    /// wrappers over policy-driven inner locks.
+    ClusterBatched(TenureLimit),
+}
+
+impl AnyLockKind {
+    /// The admission order the modelled runner simulates for this kind,
+    /// honoring `policy` exactly where the real constructor would
+    /// ([`AnyLockKind::make`] ignores the knob for non-policy kinds).
+    pub fn modelled_admission(self, policy: Option<PolicySpec>) -> ModelledAdmission {
+        if !self.has_policy_knob() {
+            return ModelledAdmission::Fifo;
+        }
+        let default_bound = match self {
+            // CNA kinds carry their threshold in the registry.
+            AnyLockKind::Excl(k) if k.is_cna() => {
+                k.cna_threshold().unwrap_or(cohort::CountBound::PAPER_BOUND)
+            }
+            // Cohort compositions (incl. fissile/GCR wrappers and the
+            // cohort RW kinds) default to the paper's count(64).
+            _ => cohort::CountBound::PAPER_BOUND,
+        };
+        let limit = match policy {
+            Some(spec) => TenureLimit::from_policy(spec),
+            None => TenureLimit::Count(default_bound),
+        };
+        ModelledAdmission::ClusterBatched(limit)
+    }
+}
+
 impl From<LockKind> for AnyLockKind {
     fn from(k: LockKind) -> Self {
         AnyLockKind::Excl(k)
@@ -929,6 +1013,63 @@ mod tests {
         let with_policy = AnyLockKind::Excl(LockKind::CTktMcs)
             .make_with_policy(&topo, PolicySpec::Count { bound: 2 });
         assert_eq!(with_policy.policy_label().as_deref(), Some("count(2)"));
+    }
+
+    #[test]
+    fn modelled_admission_mirrors_the_policy_knob() {
+        use ModelledAdmission::*;
+        // FIFO: queue/backoff baselines and the prior NUMA locks.
+        for k in [
+            LockKind::Mcs,
+            LockKind::Tatas,
+            LockKind::Hbo,
+            LockKind::Hclh,
+            LockKind::FcMcs,
+            LockKind::GcrMcs,
+        ] {
+            assert_eq!(AnyLockKind::Excl(k).modelled_admission(None), Fifo, "{k}");
+        }
+        assert_eq!(
+            AnyLockKind::Rw(RwLockKind::StdRw).modelled_admission(None),
+            Fifo
+        );
+        // Batched: cohort family at the paper bound, CNA at its own.
+        for k in [LockKind::CBoMcs, LockKind::FisBoMcs, LockKind::GcrCBoMcs] {
+            assert_eq!(
+                AnyLockKind::Excl(k).modelled_admission(None),
+                ClusterBatched(TenureLimit::Count(cohort::CountBound::PAPER_BOUND)),
+                "{k}"
+            );
+        }
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::CnaTight).modelled_admission(None),
+            ClusterBatched(TenureLimit::Count(LockKind::CNA_TIGHT_THRESHOLD))
+        );
+        assert_eq!(
+            AnyLockKind::Rw(RwLockKind::CRwWpBoMcs).modelled_admission(None),
+            ClusterBatched(TenureLimit::Count(cohort::CountBound::PAPER_BOUND))
+        );
+        // The policy knob projects exactly where the constructor honors it.
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::CBoMcs)
+                .modelled_admission(Some(PolicySpec::Time { budget_ns: 9 })),
+            ClusterBatched(TenureLimit::TimeNs(9))
+        );
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::CBoMcs)
+                .modelled_admission(Some(PolicySpec::Adaptive { min: 2, max: 8 })),
+            ClusterBatched(TenureLimit::Count(8))
+        );
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::CBoMcs).modelled_admission(Some(PolicySpec::NeverPass)),
+            ClusterBatched(TenureLimit::Never)
+        );
+        // ...and is ignored where it would be ignored.
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::Mcs)
+                .modelled_admission(Some(PolicySpec::Count { bound: 2 })),
+            Fifo
+        );
     }
 
     #[test]

@@ -25,13 +25,41 @@ use crate::bench_rwlock::BenchRwLock;
 use crate::pace::{kappa_for, spin_wall};
 use crate::registry::AnyLockKind;
 use crate::runner::{LBenchConfig, LBenchResult, Placement, RwBenchResult, TimeMode};
-use coherence_sim::{take_thread_stats, Directory, HandoffChannel};
+use coherence_sim::{take_thread_stats, CostModel, Directory, HandoffChannel};
 use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+/// How a scenario's *costs* are accounted: against real threads racing
+/// in real time (with virtual-clock charging), or against the
+/// deterministic coherence simulator.
+///
+/// `RealTime` is the engine's historical behaviour, untouched: real
+/// threads run the real lock algorithms and the cost model only *prices*
+/// their decisions, so multi-thread results are statistically stable but
+/// never bit-reproducible (the stop flag races real scheduling).
+///
+/// `Modelled` replaces the execution substrate: the run becomes a
+/// single-threaded discrete-event simulation in which every lock
+/// acquisition, release, and critical-section data access is charged
+/// through [`coherence_sim::Directory`] + [`coherence_sim::HandoffChannel`]
+/// against per-thread virtual clocks, the admission order is derived
+/// from the lock kind's *mechanism* (FIFO for queue locks,
+/// policy-bounded cluster batching for the cohort family), and nothing
+/// reads the wall clock — so two runs of the same cell produce
+/// **bit-identical** [`ScenarioResult`]s. See `docs/ARCHITECTURE.md`,
+/// "Modelled coherence mode", for the determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostMode {
+    /// Real threads, real lock algorithms, modelled prices (default).
+    RealTime,
+    /// Deterministic discrete-event simulation under the given latency
+    /// model (e.g. [`CostModel::disaggregated`]).
+    Modelled(CostModel),
+}
 
 /// One segment of a phased read-ratio schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,7 +104,7 @@ pub enum LoadShape {
 impl LoadShape {
     /// Virtual nanoseconds from `now` to the next on-window, or `None`
     /// when load is admitted at `now`.
-    fn off_gap(&self, now: u64) -> Option<u64> {
+    pub(crate) fn off_gap(&self, now: u64) -> Option<u64> {
         match *self {
             LoadShape::Bursty { on_ns, off_ns } if off_ns > 0 => {
                 let period = on_ns + off_ns;
@@ -93,7 +121,7 @@ impl LoadShape {
 
     /// The read percentage in force at virtual time `now` (`base` unless
     /// a phase schedule overrides it).
-    fn read_pct_at(&self, now: u64, base: u32) -> u32 {
+    pub(crate) fn read_pct_at(&self, now: u64, base: u32) -> u32 {
         match self {
             LoadShape::Phased { phases } if !phases.is_empty() => {
                 let total: u64 = phases.iter().map(|p| p.dur_ns).sum();
@@ -146,6 +174,9 @@ pub struct Scenario {
     /// down to a few hot threads — the light-contention regime where
     /// simple locks (TATAS) historically beat NUMA-aware ones.
     pub asymmetry: f64,
+    /// Whether costs are accounted in real time (default) or through the
+    /// deterministic coherence simulator (see [`CostMode`]).
+    pub cost_mode: CostMode,
 }
 
 impl Default for Scenario {
@@ -155,6 +186,7 @@ impl Default for Scenario {
             patience_ns: None,
             shape: LoadShape::Steady,
             asymmetry: 0.0,
+            cost_mode: CostMode::RealTime,
         }
     }
 }
@@ -208,6 +240,18 @@ impl Scenario {
         self
     }
 
+    /// Sets the cost mode (see [`CostMode`]).
+    pub fn with_cost_mode(mut self, mode: CostMode) -> Self {
+        self.cost_mode = mode;
+        self
+    }
+
+    /// Shorthand: switches the scenario to deterministic modelled
+    /// accounting under `model`.
+    pub fn modelled(self, model: CostModel) -> Self {
+        self.with_cost_mode(CostMode::Modelled(model))
+    }
+
     /// The wrapper scenario [`run_lbench`](crate::run_lbench) submits:
     /// exclusive-only, steady, patience from the legacy config field.
     pub fn from_exclusive_config(cfg: &LBenchConfig) -> Self {
@@ -238,12 +282,12 @@ impl Scenario {
     /// parity demands the identical RNG sequence); exclusive kinds draw
     /// only when the scenario can actually produce reads, preserving the
     /// legacy exclusive driver's RNG sequence.
-    fn draws_coin(&self, kind: AnyLockKind) -> bool {
+    pub(crate) fn draws_coin(&self, kind: AnyLockKind) -> bool {
         matches!(kind, AnyLockKind::Rw(_)) || self.uses_reads()
     }
 
     /// Thread `i`'s non-critical idle bound under the asymmetry knob.
-    fn noncs_max_for(&self, i: usize, threads: usize, base_ns: u64) -> u64 {
+    pub(crate) fn noncs_max_for(&self, i: usize, threads: usize, base_ns: u64) -> u64 {
         if self.asymmetry == 0.0 || threads <= 1 {
             return base_ns;
         }
@@ -280,6 +324,11 @@ pub struct ScenarioResult {
     pub acquisitions: u64,
     /// Cross-cluster migrations of the exclusive lock.
     pub migrations: u64,
+    /// Raw coherence-miss count over the whole run (cross-cluster data
+    /// transfers charged by the directory, summed over threads) — the
+    /// numerator the modelled-mode self-checks assert exactly;
+    /// [`misses_per_cs`](Self::misses_per_cs) is the derived ratio.
+    pub remote_misses: u64,
     /// Coherence misses per critical section — data lines plus the lock
     /// handoff itself.
     pub misses_per_cs: f64,
@@ -326,6 +375,89 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
+    /// Compares every **deterministic** field against `other`, returning
+    /// the first diverging field as `"name: self vs other"` (floats are
+    /// compared bit-for-bit). `wall` is real time and therefore excluded
+    /// — it is the one field the modelled-mode determinism contract does
+    /// not cover. `None` means the two results are bit-identical twins.
+    pub fn first_divergence(&self, other: &ScenarioResult) -> Option<String> {
+        macro_rules! cmp {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    return Some(format!(
+                        "{}: {:?} vs {:?}",
+                        stringify!($field),
+                        self.$field,
+                        other.$field
+                    ));
+                }
+            };
+        }
+        macro_rules! cmp_f64 {
+            ($field:ident) => {
+                if self.$field.to_bits() != other.$field.to_bits() {
+                    return Some(format!(
+                        "{}: {:?} vs {:?}",
+                        stringify!($field),
+                        self.$field,
+                        other.$field
+                    ));
+                }
+            };
+        }
+        cmp!(kind);
+        cmp!(threads);
+        cmp!(read_pct);
+        cmp!(per_thread_ops);
+        cmp!(read_ops);
+        cmp!(write_ops);
+        cmp!(total_ops);
+        cmp_f64!(throughput);
+        cmp!(acquisitions);
+        cmp!(migrations);
+        cmp!(remote_misses);
+        cmp_f64!(misses_per_cs);
+        cmp_f64!(mean_batch);
+        cmp!(aborts);
+        cmp_f64!(abort_rate);
+        cmp_f64!(stddev_pct);
+        cmp!(policy);
+        cmp!(tenures);
+        cmp!(local_handoffs);
+        cmp_f64!(mean_streak);
+        cmp!(max_streak);
+        cmp_f64!(migrations_per_tenure);
+        cmp!(fast_acquisitions);
+        cmp!(slow_acquisitions);
+        cmp!(passive_parks);
+        cmp!(promotions);
+        cmp!(batch_hist);
+        cmp!(lat_p50_ns);
+        cmp!(lat_p99_ns);
+        None
+    }
+
+    /// Lower bound of the **median batch length** implied by the
+    /// power-of-two [`batch_hist`](Self::batch_hist): `2^i` of the bucket
+    /// the median closed batch falls in (0 when no batch ever closed).
+    /// The modelled-mode self-checks assert this against the handoff
+    /// policy's bound — an *exact* statement, since modelled batch
+    /// lengths are deterministic.
+    pub fn batch_p50_floor(&self) -> u64 {
+        let total: u64 = self.batch_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.batch_hist.iter().enumerate() {
+            seen += c;
+            if 2 * seen >= total {
+                return 1 << i;
+            }
+        }
+        0
+    }
+
     /// Converts to the legacy exclusive result (panics on an RW kind —
     /// the legacy struct cannot name those).
     pub fn into_lbench(self) -> LBenchResult {
@@ -400,6 +532,7 @@ impl ScenarioResult {
             throughput,
             acquisitions: 0,
             migrations: 0,
+            remote_misses: 0,
             misses_per_cs: 0.0,
             mean_batch: 0.0,
             aborts: 0,
@@ -451,7 +584,7 @@ const LAT_RESERVOIR: usize = 32 * 1024;
 /// every `stride`-th sample, decimating once full. The `Vec` is
 /// pre-sized from the scenario's op budget so steady-state measurement
 /// never reallocates.
-struct LatReservoir {
+pub(crate) struct LatReservoir {
     samples: Vec<u64>,
     stride: u64,
     ticks: u64,
@@ -463,7 +596,7 @@ impl LatReservoir {
     /// per-op floor (critical-section compute + mean non-critical idle),
     /// so reserving `min(budget, cap)` up front removes measurement-time
     /// allocation entirely for every realistic window.
-    fn for_config(cfg: &LBenchConfig) -> Self {
+    pub(crate) fn for_config(cfg: &LBenchConfig) -> Self {
         let per_op_floor_ns = (cfg.cs_extra_ns + cfg.noncs_max_ns / 2).max(1);
         let budget = (cfg.window_ns / per_op_floor_ns) as usize;
         LatReservoir {
@@ -475,7 +608,7 @@ impl LatReservoir {
 
     /// Offers one sample; retained iff the tick lands on the stride.
     #[inline]
-    fn record(&mut self, sample: u64) {
+    pub(crate) fn record(&mut self, sample: u64) {
         if self.ticks.is_multiple_of(self.stride) {
             if self.samples.len() >= LAT_RESERVOIR {
                 // Decimate: keep every other retained sample (indices
@@ -497,7 +630,7 @@ impl LatReservoir {
 
     /// The retained samples plus the stride they were taken at (needed
     /// to merge reservoirs from threads that decimated unequally).
-    fn into_parts(self) -> (Vec<u64>, u64) {
+    pub(crate) fn into_parts(self) -> (Vec<u64>, u64) {
         (self.samples, self.stride)
     }
 }
@@ -510,7 +643,7 @@ impl LatReservoir {
 /// maximum stride first (strides are powers of two, so each set is
 /// re-decimated by an integer step) keeps the pool a uniform subsample
 /// of the whole run's acquisition stream.
-fn merge_lat_reservoirs(parts: Vec<(Vec<u64>, u64)>) -> Vec<u64> {
+pub(crate) fn merge_lat_reservoirs(parts: Vec<(Vec<u64>, u64)>) -> Vec<u64> {
     let max_stride = parts.iter().map(|(_, s)| *s).max().unwrap_or(1);
     let mut merged = Vec::new();
     for (samples, stride) in parts {
@@ -522,7 +655,7 @@ fn merge_lat_reservoirs(parts: Vec<(Vec<u64>, u64)>) -> Vec<u64> {
 
 /// Nearest-rank percentile of an ascending-sorted sample set (0 for an
 /// empty set).
-fn percentile(sorted: &[u64], pct: f64) -> u64 {
+pub(crate) fn percentile(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
@@ -564,6 +697,12 @@ pub fn run_scenario_on(
             assert!(*on_ns > 0, "bursty scenarios need a non-empty on-window")
         }
         LoadShape::Steady => {}
+    }
+    // Modelled mode swaps the execution substrate entirely: no threads,
+    // no stop-flag race, no wall clock — see `modelled.rs`. The real-time
+    // path below is byte-for-byte the historical engine.
+    if let CostMode::Modelled(model) = scenario.cost_mode {
+        return crate::modelled::run_modelled(kind, &*lock, scenario, cfg, model);
     }
     let dir = Arc::new(Directory::new(cfg.cs_lines.max(1), cfg.cost));
     let handoff = Arc::new(HandoffChannel::new(cfg.cost));
@@ -804,6 +943,7 @@ pub fn run_scenario_on(
         throughput: total_ops as f64 / window_s,
         acquisitions,
         migrations,
+        remote_misses,
         // Data-line misses plus the lock-word transfer on each migration.
         misses_per_cs: if acquisitions > 0 {
             (remote_misses + migrations) as f64 / acquisitions as f64

@@ -1,0 +1,128 @@
+//! Integration: the modelled cost mode's determinism contract, held
+//! against the *actual* `fig_model` exhibit cells.
+//!
+//! The contract (see `docs/ARCHITECTURE.md`, "Modelled coherence mode"):
+//! a modelled scenario run is a single-threaded discrete-event
+//! simulation that never reads the wall clock, so re-running any cell —
+//! in the same process, at any thread count — reproduces every field of
+//! the [`lbench::ScenarioResult`] bit for bit, and the CSV the exhibit
+//! writes is byte-identical across sweeps. The cells, lock set, and row
+//! builder come from `cohort_bench::model_exhibit`, the same module the
+//! `fig_model` binary runs, so what this test pins is exactly what the
+//! committed `results/fig_model.csv` and the CI byte-diff exercise.
+//!
+//! On failure the assertions print the **first diverging field**
+//! ([`lbench::ScenarioResult::first_divergence`]) rather than a blob of
+//! two full results.
+
+use cohort_bench::{
+    measure_model_cell, model_cells_at, model_csv_row, model_locks, schema, Grid, Measurement,
+    ModelCell,
+};
+
+/// Runs the full exhibit sweep at one contended thread count.
+fn sweep(contended_threads: usize) -> Vec<Measurement<ModelCell>> {
+    let mut ms = Vec::new();
+    for cell in model_cells_at(contended_threads) {
+        for &kind in &model_locks() {
+            ms.push(Measurement {
+                result: measure_model_cell(kind, &cell),
+                cell: cell.clone(),
+            });
+        }
+    }
+    ms
+}
+
+/// Builds the exhibit's pinned-schema grid from a sweep.
+fn grid(ms: &[Measurement<ModelCell>]) -> Grid {
+    Grid {
+        title: String::new(),
+        columns: schema::FIG_MODEL_HEADER
+            .split(',')
+            .map(str::to_string)
+            .collect(),
+        rows: ms.iter().map(model_csv_row).collect(),
+    }
+}
+
+#[test]
+fn every_exhibit_cell_reruns_bit_identically() {
+    for cell in model_cells_at(8) {
+        for &kind in &model_locks() {
+            let a = measure_model_cell(kind, &cell);
+            let b = measure_model_cell(kind, &cell);
+            assert_eq!(
+                a.first_divergence(&b),
+                None,
+                "[{} {}] diverged on re-run",
+                kind.name(),
+                cell.name
+            );
+            assert!(
+                a.total_ops > 0,
+                "[{} {}] measured nothing",
+                kind.name(),
+                cell.name
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_holds_across_thread_counts() {
+    // Each thread count is its own deterministic universe: runs at the
+    // same count are twins, runs at different counts are (of course)
+    // different measurements.
+    let mut per_count_ops = Vec::new();
+    for threads in [2usize, 4, 8] {
+        let cell = model_cells_at(threads)
+            .into_iter()
+            .find(|c| c.name == "saturated")
+            .expect("exhibit grid carries a saturated cell");
+        for &kind in &model_locks() {
+            let a = measure_model_cell(kind, &cell);
+            let b = measure_model_cell(kind, &cell);
+            assert_eq!(
+                a.first_divergence(&b),
+                None,
+                "[{} saturated t={threads}] diverged on re-run",
+                kind.name()
+            );
+        }
+        let mcs = measure_model_cell(model_locks()[0], &cell);
+        per_count_ops.push(mcs.total_ops);
+    }
+    per_count_ops.dedup();
+    assert!(
+        per_count_ops.len() > 1,
+        "thread counts should produce distinct measurements: {per_count_ops:?}"
+    );
+}
+
+#[test]
+fn full_sweep_writes_byte_identical_csv() {
+    let base = std::env::temp_dir().join(format!("modelled-determinism-{}", std::process::id()));
+    let (d1, d2) = (base.join("run1"), base.join("run2"));
+    let p1 = grid(&sweep(8)).write_csv_in(&d1, "fig_model").unwrap();
+    let p2 = grid(&sweep(8)).write_csv_in(&d2, "fig_model").unwrap();
+    let (b1, b2) = (std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+    // Byte-level diff message: find the first differing row instead of
+    // dumping both files.
+    if b1 != b2 {
+        let (s1, s2) = (String::from_utf8_lossy(&b1), String::from_utf8_lossy(&b2));
+        for (i, (l1, l2)) in s1.lines().zip(s2.lines()).enumerate() {
+            assert_eq!(l1, l2, "first diverging CSV line is {}", i + 1);
+        }
+        panic!(
+            "CSV runs differ only in length: {} vs {} bytes",
+            b1.len(),
+            b2.len()
+        );
+    }
+    // And the header is the pinned schema (what csv_schema checks for
+    // the committed copy).
+    let head = String::from_utf8_lossy(&b1);
+    assert_eq!(head.lines().next(), Some(schema::FIG_MODEL_HEADER));
+    let _ = std::fs::remove_dir_all(base);
+}

@@ -1,9 +1,11 @@
 //! Property tests on the cost-model substrates: the coherence directory
-//! against a naive reference model, and the pass policy.
+//! against a naive reference model, the directory and handoff channel
+//! *jointly* under random acquire/access/release interleavings (the op
+//! stream the modelled cost mode drives), and the pass policy.
 
-use coherence_sim::{CostModel, Directory, LineState};
+use coherence_sim::{take_thread_stats, CostModel, Directory, HandoffChannel, LineState};
 use cohort::PassPolicy;
-use numa_topology::ClusterId;
+use numa_topology::{vclock, ClusterId};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -96,4 +98,100 @@ proptest! {
         let p = PassPolicy::Count { bound };
         prop_assert_eq!(p.may_pass_local(streak), streak < bound);
     }
+
+    // The channel and the directory together, driven by the op stream
+    // the modelled cost mode generates — acquire, read + write the
+    // critical-section lines, release — under random cluster
+    // interleavings. The reference checks live in `joint_invariants`
+    // below. (A `///` doc comment here would desugar to an attribute
+    // the shim's proptest! pattern does not match.)
+    #[test]
+    fn handoff_and_directory_jointly_hold_invariants(
+        steps in proptest::collection::vec(
+            (0u32..4, 0usize..4, 0usize..4, 1u64..4), 1..200)
+    ) {
+        joint_invariants(&steps);
+    }
+}
+
+/// Joint reference check over one random op stream (see the proptest
+/// case above): each step acquires the lock from `cluster`, reads
+/// `rd_line`, writes `wr_line` `writes` times, and releases. Verified
+/// invariants:
+///
+/// * MESI: a write always leaves exactly one modified holder (the
+///   writer — sharers are implicitly invalidated on the upgrade), a
+///   read leaves the reader a sharer or the sole owner;
+/// * handoff accounting: migrations and the *entire* batch histogram
+///   equal a naive reference recomputation, and closed batches + the
+///   still-open run account for every acquisition;
+/// * vclock monotonicity: nothing in the charging path ever moves this
+///   thread's virtual clock backwards.
+fn joint_invariants(steps: &[(u32, usize, usize, u64)]) {
+    vclock::reset();
+    let _ = take_thread_stats(); // drop any stale thread-local stats
+    let model = CostModel::t5440();
+    let h = HandoffChannel::new(model);
+    let dir = Directory::new(4, model);
+    let mut prev_cluster: Option<u32> = None;
+    let mut ref_migrations = 0u64;
+    let mut ref_hist = [0u64; 20];
+    let mut ref_closed = 0u64;
+    let mut ref_closed_len = 0u64;
+    let mut run = 0u64;
+    let mut last_now = 0u64;
+    for (cluster, rd_line, wr_line, writes) in steps {
+        let cl = ClusterId::new(*cluster);
+        let info = h.on_acquire(cl);
+        let migrated = prev_cluster.is_some_and(|p| p != *cluster);
+        assert_eq!(info.migrated, migrated);
+        assert_eq!(info.first, prev_cluster.is_none());
+        if migrated {
+            ref_migrations += 1;
+            if run > 0 {
+                let b = (63 - run.leading_zeros() as usize).min(19);
+                ref_hist[b] += 1;
+                ref_closed += 1;
+                ref_closed_len += run;
+            }
+            run = 1;
+        } else {
+            run += 1;
+        }
+        prev_cluster = Some(*cluster);
+        assert!(info.now_ns >= last_now, "acquire moved the clock back");
+        last_now = info.now_ns;
+
+        dir.read(*rd_line, cl);
+        match dir.state_of(*rd_line) {
+            LineState::Modified { owner } => assert_eq!(owner.as_u32(), *cluster),
+            LineState::Shared { sharers } => {
+                assert!(sharers & (1 << cluster) != 0, "reader not a sharer")
+            }
+            s => panic!("read left state {s:?}"),
+        }
+        for _ in 0..*writes {
+            dir.write(*wr_line, cl);
+            // The MESI upgrade: one modified holder, sharers gone.
+            match dir.state_of(*wr_line) {
+                LineState::Modified { owner } => assert_eq!(owner.as_u32(), *cluster),
+                s => panic!("write left non-exclusive state {s:?}"),
+            }
+        }
+        assert!(
+            vclock::now() >= last_now,
+            "data access moved the clock back"
+        );
+        vclock::advance(16);
+        h.on_release(cl);
+        last_now = vclock::now();
+    }
+    assert_eq!(h.acquisitions(), steps.len() as u64);
+    assert_eq!(h.migrations(), ref_migrations);
+    assert_eq!(h.batches().snapshot(), ref_hist);
+    // Every acquisition is in a closed batch or the still-open run.
+    assert_eq!(ref_closed_len + run, h.acquisitions());
+    assert_eq!(ref_hist.iter().sum::<u64>(), ref_closed);
+    let _ = take_thread_stats();
+    vclock::reset();
 }

@@ -14,9 +14,10 @@
 //! agree to the bit. A multi-thread cell then checks the aggregate
 //! invariants that survive scheduling noise.
 
+use coherence_sim::CostModel;
 use lbench::{
-    run_lbench, run_rw_lbench, run_scenario, AnyLockKind, LBenchConfig, LockKind, RwLockKind,
-    Scenario,
+    run_lbench, run_rw_lbench, run_scenario, AnyLockKind, CostMode, LBenchConfig, LockKind,
+    RwLockKind, Scenario,
 };
 use std::time::Duration;
 
@@ -95,6 +96,46 @@ fn single_thread_runs_are_reproducible_at_all() {
     let b = run_lbench(LockKind::Ticket, &c);
     assert_eq!(a.total_ops, b.total_ops);
     assert_eq!(a.throughput, b.throughput);
+}
+
+#[test]
+fn modelled_single_thread_is_bit_exact_across_repeats() {
+    // The modelled cost mode's determinism contract, at the parity
+    // matrix's own cell sizes: every repeat is a bit-identical twin —
+    // not just total_ops, but every deterministic field
+    // (first_divergence compares floats by to_bits and covers the whole
+    // result surface except the diagnostic wall field).
+    for kind in [LockKind::Mcs, LockKind::CBoMcs, LockKind::Cna] {
+        let c = cfg(1);
+        let s = Scenario::steady().modelled(CostModel::disaggregated());
+        let a = run_scenario(AnyLockKind::Excl(kind), &s, &c);
+        let b = run_scenario(AnyLockKind::Excl(kind), &s, &c);
+        assert_eq!(a.first_divergence(&b), None, "{kind}");
+        assert!(a.total_ops > 0, "{kind}");
+    }
+}
+
+#[test]
+fn realtime_results_are_unaffected_by_cost_mode_plumbing() {
+    // CostMode is new plumbing through Scenario; the RealTime variant
+    // must be the engine's historical behaviour exactly. Single-thread
+    // real-time runs are deterministic (one seeded RNG, virtual time
+    // only), so a scenario with the explicit default mode and the
+    // legacy wrapper must agree to the bit.
+    for kind in [LockKind::Mcs, LockKind::CBoMcs] {
+        let c = cfg(1);
+        let explicit = run_scenario(
+            AnyLockKind::Excl(kind),
+            &Scenario::steady().with_cost_mode(CostMode::RealTime),
+            &c,
+        );
+        let legacy = run_lbench(kind, &c);
+        assert_eq!(explicit.total_ops, legacy.total_ops, "{kind}");
+        assert_eq!(explicit.throughput, legacy.throughput, "{kind}");
+        assert_eq!(explicit.acquisitions, legacy.acquisitions, "{kind}");
+        assert_eq!(explicit.migrations, legacy.migrations, "{kind}");
+        assert_eq!(explicit.per_thread_ops, legacy.per_thread_ops, "{kind}");
+    }
 }
 
 #[test]
