@@ -9,18 +9,32 @@
 //! application's *block initialization* is charged outside the lock — the
 //! paper's §4.3 point is that cohort locks improve locality for **both**,
 //! because block recycling follows the lock's admission order.
+//!
+//! Like the kvstore driver, this module is now a **thin wrapper over the
+//! scenario engine**: the whole malloc→init→delay→free→delay pair is a
+//! [`KeyedService`] op (keyspace 0 — the allocator is keyless, so the
+//! engine draws no key and no read/write coin, preserving the legacy
+//! driver's RNG stream of exactly two delay draws per pair), and
+//! [`run_mmicro`] is one `run_scenario` call. The `kv_scenario_parity`
+//! integration test pins that the engine reproduces the legacy numbers.
 
 use crate::allocator::{MiniAlloc, MiniAllocConfig};
 use coherence_sim::{CostModel, Directory, HandoffChannel};
-use lbench::pace::{kappa_for, spin_wall};
-use lbench::{BenchLock, LockKind};
-use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
+use lbench::pace::spin_wall;
+use lbench::{
+    run_scenario, AnyLockKind, BenchLock, CohortStats, KeyDist, KeyedCtx, KeyedOp, KeyedService,
+    KeyedServiceFactory, KeyedSpec, LBenchConfig, LockKind, Scenario,
+};
+use numa_topology::{vclock, Topology};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
-use std::time::{Duration, Instant};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The legacy driver's per-thread RNG seed base (`0x6D6D` — "mm").
+const MM_SEED: u64 = 0x6D6D;
 
 /// mmicro parameters.
 #[derive(Clone, Debug)]
@@ -63,6 +77,39 @@ impl Default for MmicroWorkload {
     }
 }
 
+impl MmicroWorkload {
+    /// The keyed [`Scenario`] this workload describes: keyless
+    /// (keyspace 0), write-only (`read_pct` 0 — no coin draw), no
+    /// engine-side parse advance (the pair's delays live inside the op).
+    pub fn scenario(&self) -> Scenario {
+        Scenario::steady().with_keyed(KeyedSpec {
+            keyspace: 0,
+            dist: KeyDist::Uniform,
+            parse_ns: 0,
+            seed: MM_SEED,
+            factory: Arc::new(MmicroServiceFactory {
+                alloc_size: self.alloc_size,
+                init_words: self.init_words,
+                delay_max_ns: self.delay_max_ns,
+                alloc: self.alloc,
+                cost: self.cost,
+            }),
+        })
+    }
+
+    /// The engine config this workload describes.
+    pub fn lbench_config(&self) -> LBenchConfig {
+        LBenchConfig {
+            threads: self.threads,
+            clusters: self.clusters,
+            window_ns: self.window_ns,
+            max_wall: self.max_wall,
+            cost: self.cost,
+            ..Default::default()
+        }
+    }
+}
+
 /// One mmicro run's outcome.
 #[derive(Clone, Debug)]
 pub struct MmicroResult {
@@ -101,109 +148,145 @@ impl SharedAlloc {
     }
 }
 
-/// Runs mmicro with `kind` guarding the allocator.
-pub fn run_mmicro(kind: LockKind, w: &MmicroWorkload) -> MmicroResult {
-    let topo = Arc::new(Topology::new(w.clusters));
-    let lock = kind.make(&topo);
-    let dir = Arc::new(Directory::new(MiniAlloc::lines_needed(&w.alloc), w.cost));
-    let shared = Arc::new(SharedAlloc {
-        lock,
-        inner: UnsafeCell::new(MiniAlloc::new(w.alloc, Arc::clone(&dir))),
-    });
-    let handoff = Arc::new(HandoffChannel::new(w.cost));
-    let stop = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(w.threads));
-    let started = Instant::now();
-    let kappa = kappa_for(w.threads);
+/// Builds the [`MmicroService`] — the allocator behind the lock kind the
+/// engine sweeps. mmicro has no shared-read notion, so only exclusive
+/// kinds are accepted.
+#[derive(Clone, Debug)]
+struct MmicroServiceFactory {
+    alloc_size: u64,
+    init_words: usize,
+    delay_max_ns: u64,
+    alloc: MiniAllocConfig,
+    cost: CostModel,
+}
 
-    let handles: Vec<_> = (0..w.threads)
-        .map(|i| {
-            let topo = Arc::clone(&topo);
-            let shared = Arc::clone(&shared);
-            let dir = Arc::clone(&dir);
-            let handoff = Arc::clone(&handoff);
-            let stop = Arc::clone(&stop);
-            let barrier = Arc::clone(&barrier);
-            let w = w.clone();
-            std::thread::spawn(move || {
-                let my_cluster = ClusterId::new((i % w.clusters) as u32);
-                bind_current_thread(&topo, my_cluster);
-                vclock::reset();
-                let mut rng = StdRng::seed_from_u64(0x6D6D ^ i as u64);
-                let mut pairs = 0u64;
-                barrier.wait();
-                let wall_start = Instant::now();
-                let mut check = 0u32;
-                while !stop.load(Ordering::Relaxed) {
-                    // --- malloc (critical section) ---
-                    let addr = shared.with_lock(|a| {
-                        handoff.on_acquire(my_cluster);
-                        let cs0 = vclock::now();
-                        let p = a.malloc(w.alloc_size, my_cluster);
-                        let charged = vclock::now().saturating_sub(cs0);
-                        spin_wall((charged * kappa).min(100_000), true);
-                        handoff.on_release(my_cluster);
-                        p
-                    });
-                    let Some(addr) = addr else {
-                        // Arena exhausted (should not happen at mmicro
-                        // sizes): back off and retry.
-                        std::thread::yield_now();
-                        continue;
-                    };
-
-                    // --- initialize the block (application, outside the
-                    // lock): the paper writes the first 4 words. One 64-B
-                    // block = one line; charge it once per word batch.
-                    dir.write((addr / 64) as usize, my_cluster);
-                    vclock::advance(w.init_words as u64 * 2);
-
-                    // --- delay after malloc ---
-                    let d1 = rng.gen_range(0..=w.delay_max_ns);
-                    vclock::advance(d1);
-                    spin_wall(d1 * kappa, true);
-
-                    // --- free (critical section) ---
-                    shared.with_lock(|a| {
-                        handoff.on_acquire(my_cluster);
-                        let cs0 = vclock::now();
-                        a.free(addr, my_cluster);
-                        let charged = vclock::now().saturating_sub(cs0);
-                        spin_wall((charged * kappa).min(100_000), true);
-                        if vclock::now() >= w.window_ns {
-                            stop.store(true, Ordering::Relaxed);
-                        }
-                        handoff.on_release(my_cluster);
-                    });
-                    pairs += 1;
-
-                    // --- delay after free ---
-                    let d2 = rng.gen_range(0..=w.delay_max_ns);
-                    vclock::advance(d2);
-                    spin_wall(d2 * kappa, true);
-
-                    check = check.wrapping_add(1);
-                    if check.is_multiple_of(128) && wall_start.elapsed() > w.max_wall {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                }
-                pairs
-            })
+impl KeyedServiceFactory for MmicroServiceFactory {
+    fn build(
+        &self,
+        kind: AnyLockKind,
+        topo: &Arc<Topology>,
+        _scenario: &Scenario,
+        _cfg: &LBenchConfig,
+    ) -> Arc<dyn KeyedService> {
+        let kind = match kind {
+            AnyLockKind::Excl(k) => k,
+            AnyLockKind::Rw(k) => panic!("mmicro drives an exclusive allocator lock, not {k}"),
+        };
+        let dir = Arc::new(Directory::new(
+            MiniAlloc::lines_needed(&self.alloc),
+            self.cost,
+        ));
+        Arc::new(MmicroService {
+            shared: SharedAlloc {
+                lock: kind.make(topo),
+                inner: UnsafeCell::new(MiniAlloc::new(self.alloc, Arc::clone(&dir))),
+            },
+            dir,
+            handoff: HandoffChannel::new(self.cost),
+            alloc_size: self.alloc_size,
+            init_words: self.init_words,
+            delay_max_ns: self.delay_max_ns,
         })
-        .collect();
-
-    let mut pairs = 0u64;
-    for h in handles {
-        pairs += h.join().expect("mmicro worker panicked");
     }
+}
+
+/// One [`KeyedService`] op = one full malloc→init→delay→free→delay pair,
+/// replicating the legacy driver's program exactly: no window check in
+/// the malloc critical section (only the free side checks), an
+/// arena-exhausted malloc yields and returns `false` (uncounted, no
+/// delay draws), and both delays pace uncapped.
+struct MmicroService {
+    shared: SharedAlloc,
+    dir: Arc<Directory>,
+    handoff: HandoffChannel,
+    alloc_size: u64,
+    init_words: usize,
+    delay_max_ns: u64,
+}
+
+impl KeyedService for MmicroService {
+    fn op(&self, _op: &KeyedOp, ctx: &KeyedCtx<'_>, rng: &mut StdRng) -> bool {
+        // --- malloc (critical section) ---
+        let addr = self.shared.with_lock(|a| {
+            self.handoff.on_acquire(ctx.cluster);
+            let cs0 = vclock::now();
+            let p = a.malloc(self.alloc_size, ctx.cluster);
+            let charged = vclock::now().saturating_sub(cs0);
+            spin_wall((charged * ctx.kappa).min(100_000), true);
+            self.handoff.on_release(ctx.cluster);
+            p
+        });
+        let Some(addr) = addr else {
+            // Arena exhausted (should not happen at mmicro sizes): back
+            // off and retry.
+            std::thread::yield_now();
+            return false;
+        };
+
+        // --- initialize the block (application, outside the lock): the
+        // paper writes the first 4 words. One 64-B block = one line;
+        // charge it once per word batch.
+        self.dir.write((addr / 64) as usize, ctx.cluster);
+        vclock::advance(self.init_words as u64 * 2);
+
+        // --- delay after malloc ---
+        let d1 = rng.gen_range(0..=self.delay_max_ns);
+        vclock::advance(d1);
+        spin_wall(d1 * ctx.kappa, true);
+
+        // --- free (critical section) ---
+        self.shared.with_lock(|a| {
+            self.handoff.on_acquire(ctx.cluster);
+            let cs0 = vclock::now();
+            a.free(addr, ctx.cluster);
+            let charged = vclock::now().saturating_sub(cs0);
+            spin_wall((charged * ctx.kappa).min(100_000), true);
+            if vclock::now() >= ctx.window_ns {
+                ctx.stop.store(true, Ordering::Relaxed);
+            }
+            self.handoff.on_release(ctx.cluster);
+        });
+
+        // --- delay after free ---
+        let d2 = rng.gen_range(0..=self.delay_max_ns);
+        vclock::advance(d2);
+        spin_wall(d2 * ctx.kappa, true);
+        true
+    }
+
+    fn acquisitions(&self) -> u64 {
+        self.handoff.acquisitions()
+    }
+
+    fn migrations(&self) -> u64 {
+        self.handoff.migrations()
+    }
+
+    fn batch_hist(&self) -> Vec<u64> {
+        self.handoff.batches().snapshot().to_vec()
+    }
+
+    fn cohort_stats(&self) -> Option<CohortStats> {
+        self.shared.lock.cohort_stats()
+    }
+
+    fn policy_label(&self) -> Option<String> {
+        self.shared.lock.policy_label()
+    }
+}
+
+/// Runs mmicro with `kind` guarding the allocator: one [`run_scenario`]
+/// call over the keyed scenario, narrowed to the legacy result surface.
+pub fn run_mmicro(kind: LockKind, w: &MmicroWorkload) -> MmicroResult {
+    let r = run_scenario(AnyLockKind::Excl(kind), &w.scenario(), &w.lbench_config());
     MmicroResult {
         kind,
         threads: w.threads,
-        pairs,
-        pairs_per_ms: pairs as f64 / (w.window_ns as f64 / 1e6),
-        migrations: handoff.migrations(),
-        acquisitions: handoff.acquisitions(),
-        wall: started.elapsed(),
+        pairs: r.total_ops,
+        pairs_per_ms: r.total_ops as f64 / (w.window_ns as f64 / 1e6),
+        migrations: r.migrations,
+        acquisitions: r.acquisitions,
+        wall: r.wall,
     }
 }
 

@@ -6,9 +6,12 @@
 //! Amdahl ceiling; write-heavy — NUMA-aware locks out-scale the oblivious
 //! ones by ≥20%, with untuned HBO and C-BO-BO lagging everywhere.
 //!
-//! One [`Exhibit`] per mix, each with a custom measurement driver over
-//! the kvstore workload (the scenario engine models LBench-style loads;
-//! the kv store drives its own virtual-time loop).
+//! One [`Exhibit`] per mix, each driven through `Measure::Scenario`: the
+//! [`KvWorkload`] translates into a keyed scenario (the kvstore service
+//! factory behind the engine's one measurement loop), so this binary
+//! shares every line of measurement machinery with the synthetic
+//! exhibits. The `kv_scenario_parity` test pins that these cells
+//! reproduce the retired hand-rolled driver's numbers exactly.
 
 use cohort_bench::{
     clusters, knob_or_die, metric_table, run_exhibit, thread_grid, window_ns, Exhibit, Measure,
@@ -16,7 +19,7 @@ use cohort_bench::{
 };
 use cohort_kvstore::workload::{run_kv, KvWorkload};
 use lbench::env::{env_bool, env_policy};
-use lbench::{AnyLockKind, LockKind, PolicySpec, ScenarioResult};
+use lbench::{AnyLockKind, LockKind, PolicySpec};
 use std::time::Duration;
 
 fn workload(get_pct: u32, threads: usize, policy: Option<PolicySpec>, rw: bool) -> KvWorkload {
@@ -73,13 +76,9 @@ fn main() {
                 .map(AnyLockKind::Excl)
                 .collect(),
             grid: grid.clone(),
-            measure: Measure::Custom(Box::new(move |kind, &threads| {
-                let k = match kind {
-                    AnyLockKind::Excl(k) => k,
-                    AnyLockKind::Rw(k) => panic!("table1 sweeps exclusive kinds, got {k}"),
-                };
-                let r = run_kv(k, &workload(get_pct, threads, policy, rw));
-                ScenarioResult::external(kind, threads, r.throughput, r.wall)
+            measure: Measure::Scenario(Box::new(move |&threads| {
+                let w = workload(get_pct, threads, policy, rw);
+                (w.scenario(), w.lbench_config())
             })),
             unit: "ops/s",
             tables: vec![TableSpec {

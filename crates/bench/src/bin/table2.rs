@@ -5,14 +5,18 @@
 //! rate; cohort locks reach 5–6×, because lock batching keeps the splay
 //! tree's hot nodes and the recycled blocks inside one cluster.
 //!
-//! An [`Exhibit`] with a custom measurement driver over the allocator
-//! workload; the "throughput" channel carries pairs per millisecond.
+//! Driven through `Measure::Scenario`: the [`MmicroWorkload`] translates
+//! into a keyless keyed scenario (one op = one malloc-free pair inside
+//! the allocator service), so the engine's throughput channel carries
+//! pairs per second and the table converts to Table 2's pairs-per-ms
+//! metric. Parity with the retired hand-rolled driver is pinned by the
+//! `kv_scenario_parity` test.
 
-use cohort_alloc::workload::{run_mmicro, MmicroWorkload};
+use cohort_alloc::workload::MmicroWorkload;
 use cohort_bench::{
     clusters, exhibit_main, metric_table, thread_grid, window_ns, Exhibit, Measure, TableSpec,
 };
-use lbench::{AnyLockKind, LockKind, ScenarioResult};
+use lbench::{AnyLockKind, LockKind};
 use std::time::Duration;
 
 fn main() {
@@ -25,24 +29,17 @@ fn main() {
             .map(AnyLockKind::Excl)
             .collect(),
         grid: thread_grid(),
-        measure: Measure::Custom(Box::new(|kind, &threads| {
-            let k = match kind {
-                AnyLockKind::Excl(k) => k,
-                AnyLockKind::Rw(k) => panic!("table2 sweeps exclusive kinds, got {k}"),
+        measure: Measure::Scenario(Box::new(|&threads| {
+            let w = MmicroWorkload {
+                threads,
+                clusters: clusters(),
+                window_ns: window_ns(),
+                max_wall: Duration::from_secs(30),
+                ..Default::default()
             };
-            let r = run_mmicro(
-                k,
-                &MmicroWorkload {
-                    threads,
-                    clusters: clusters(),
-                    window_ns: window_ns(),
-                    max_wall: Duration::from_secs(30),
-                    ..Default::default()
-                },
-            );
-            ScenarioResult::external(kind, threads, r.pairs_per_ms, r.wall)
+            (w.scenario(), w.lbench_config())
         })),
-        unit: "pairs/ms",
+        unit: "pairs/s",
         tables: vec![TableSpec {
             csv: Some("table2_mmicro".into()),
             text: true,
@@ -50,7 +47,8 @@ fn main() {
                 "Table 2: mmicro throughput (malloc-free pairs per ms)".into(),
                 "threads",
                 0,
-                |r| r.throughput,
+                // The engine's throughput channel is pairs per *second*.
+                |r| r.throughput / 1e3,
             ),
         }],
         checks: vec![],

@@ -65,6 +65,18 @@ pub const FIG_MODEL_HEADER: &str = "scenario,lock,threads,clusters,read_pct,thro
      mean_batch,batch_p50,tenures,local_handoffs,mean_streak,max_streak,aborts,\
      lat_p50_ns,lat_p99_ns,policy";
 
+/// Header of `fig_shards.csv` (written by the `fig_shards` binary): one
+/// row per shards × clients × key-distribution cell × lock over the
+/// sharded KV service. The sweep runs entirely on the modelled
+/// substrate, so — like [`FIG_MODEL_HEADER`] — the file carries **no
+/// wall-clock column** and the committed copy regenerates
+/// byte-identically. The latency columns are per-*operation* percentiles
+/// (queueing plus service, from the engine's reservoir), not bare
+/// acquisition latencies.
+pub const FIG_SHARDS_HEADER: &str = "lock,shards,clients,dist,clusters,read_pct,throughput,\
+     total_ops,read_ops,write_ops,acquisitions,migrations,misses_per_cs,mean_batch,tenures,\
+     local_handoffs,mean_streak,lat_p50_ns,lat_p99_ns,policy";
+
 /// Header of the policy-sweep CSVs (`ablation_policy.csv`,
 /// `ablation_handoff.csv`; rows built by [`crate::policy_csv_row`]).
 pub const POLICY_HEADER: &str = "lock,policy,threads,throughput,stddev_pct,mean_batch,\
@@ -82,6 +94,7 @@ pub fn expected_header(file_name: &str) -> Option<String> {
         "fig_gcr.csv" => Some(FIG_GCR_HEADER.to_string()),
         "fig_scenarios.csv" => Some(FIG_SCENARIOS_HEADER.to_string()),
         "fig_model.csv" => Some(FIG_MODEL_HEADER.to_string()),
+        "fig_shards.csv" => Some(FIG_SHARDS_HEADER.to_string()),
         "ablation_policy.csv" | "ablation_handoff.csv" => Some(POLICY_HEADER.to_string()),
         "fig2_throughput.csv"
         | "fig2_lat_p50.csv"
@@ -154,6 +167,7 @@ mod tests {
             FIG_GCR_HEADER,
             FIG_SCENARIOS_HEADER,
             FIG_MODEL_HEADER,
+            FIG_SHARDS_HEADER,
             POLICY_HEADER,
         ] {
             assert!(!h.contains(' '), "continuation indent leaked: {h}");
@@ -188,6 +202,16 @@ mod tests {
         assert!(m.ends_with("policy"), "{m}");
         // The determinism contract excludes exactly one field: real time.
         assert!(!m.contains("wall"), "{m}");
+    }
+
+    #[test]
+    fn shards_header_is_wall_free_and_pinned() {
+        let s = expected_header("fig_shards.csv").unwrap();
+        assert!(s.starts_with("lock,shards,clients,dist,clusters,"), "{s}");
+        assert!(s.contains("lat_p50_ns,lat_p99_ns"), "{s}");
+        assert!(s.ends_with("policy"), "{s}");
+        // Modelled substrate: deterministic, so no wall column.
+        assert!(!s.contains("wall"), "{s}");
     }
 
     #[test]

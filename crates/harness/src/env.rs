@@ -300,6 +300,32 @@ pub fn env_positive_usize_list(knob: &str) -> Result<Option<Vec<usize>>, EnvKnob
     }
 }
 
+/// Comma-separated [`KeyDist`](crate::KeyDist) list knob
+/// (`LBENCH_KEY_DIST`): unset or all-blank ⇒ `None`; any entry failing
+/// [`KeyDist::parse`](crate::KeyDist::parse) is an error quoting that
+/// entry and the accepted spec syntax.
+pub fn env_key_dist_list(knob: &str) -> Result<Option<Vec<crate::KeyDist>>, EnvKnobError> {
+    match raw(knob)? {
+        None => Ok(None),
+        Some(v) => {
+            let mut out = Vec::new();
+            for part in v.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                match crate::KeyDist::parse(part) {
+                    Some(d) => out.push(d),
+                    None => {
+                        return Err(EnvKnobError::Choice {
+                            knob: knob.to_string(),
+                            value: part.to_string(),
+                            allowed: crate::KeyDist::SYNTAX,
+                        })
+                    }
+                }
+            }
+            Ok(if out.is_empty() { None } else { Some(out) })
+        }
+    }
+}
+
 /// [`PolicySpec`] knob: unset ⇒ `None`; parse errors are wrapped so the
 /// message leads with the knob name.
 pub fn env_policy(knob: &str) -> Result<Option<PolicySpec>, EnvKnobError> {
@@ -484,6 +510,32 @@ mod tests {
             assert!(msg.contains("1..=32"), "{msg}");
         }
         std::env::remove_var("LBENCH_TEST_RANGE");
+    }
+
+    #[test]
+    fn key_dist_list_knob_parses_specs_and_flags_the_bad_entry() {
+        let _g = env_guard();
+        use crate::KeyDist;
+        assert_eq!(env_key_dist_list("LBENCH_TEST_DIST_UNSET"), Ok(None));
+        std::env::set_var("LBENCH_TEST_DIST", "uniform, zipf:0.9,hot:64:90");
+        assert_eq!(
+            env_key_dist_list("LBENCH_TEST_DIST"),
+            Ok(Some(vec![
+                KeyDist::Uniform,
+                KeyDist::Zipfian { theta: 0.9 },
+                KeyDist::HotSet { keys: 64, pct: 90 },
+            ]))
+        );
+        std::env::set_var("LBENCH_TEST_DIST", "uniform,pareto:2");
+        let msg = env_key_dist_list("LBENCH_TEST_DIST")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("LBENCH_TEST_DIST"), "{msg}");
+        assert!(msg.contains("\"pareto:2\""), "{msg}");
+        assert!(msg.contains("zipf:<theta<1>"), "{msg}");
+        std::env::set_var("LBENCH_TEST_DIST", " , ");
+        assert_eq!(env_key_dist_list("LBENCH_TEST_DIST"), Ok(None));
+        std::env::remove_var("LBENCH_TEST_DIST");
     }
 
     #[test]

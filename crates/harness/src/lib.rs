@@ -52,6 +52,7 @@
 mod bench_lock;
 mod bench_rwlock;
 pub mod env;
+mod keyed;
 mod modelled;
 pub mod pace;
 mod registry;
@@ -66,6 +67,7 @@ pub use bench_lock::{
 pub use bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 pub use cohort::{CohortStats, PolicySpec};
 pub use env::EnvKnobError;
+pub use keyed::{KeyDist, KeyedCtx, KeyedOp, KeyedService, KeyedServiceFactory, KeyedSpec};
 pub use registry::{AnyLockKind, LockKind, ModelledAdmission, RwLockKind, TenureLimit};
 pub use runner::{
     run_lbench, run_lbench_on, run_rw_lbench, LBenchConfig, LBenchResult, Placement, RwBenchResult,

@@ -177,6 +177,13 @@ pub struct Scenario {
     /// Whether costs are accounted in real time (default) or through the
     /// deterministic coherence simulator (see [`CostMode`]).
     pub cost_mode: CostMode,
+    /// The keyed-op dimension: `Some` turns the run into a *service*
+    /// scenario — clients draw keys from a [`KeyDist`](crate::KeyDist)
+    /// and the ops execute against the service a
+    /// [`KeyedServiceFactory`](crate::KeyedServiceFactory) builds (an
+    /// N-shard KV store, an allocator arena) instead of the engine's
+    /// synthetic critical section. See the `keyed` module docs.
+    pub keyed: Option<crate::keyed::KeyedSpec>,
 }
 
 impl Default for Scenario {
@@ -187,6 +194,7 @@ impl Default for Scenario {
             shape: LoadShape::Steady,
             asymmetry: 0.0,
             cost_mode: CostMode::RealTime,
+            keyed: None,
         }
     }
 }
@@ -250,6 +258,12 @@ impl Scenario {
     /// accounting under `model`.
     pub fn modelled(self, model: CostModel) -> Self {
         self.with_cost_mode(CostMode::Modelled(model))
+    }
+
+    /// Attaches the keyed-op dimension (see [`Scenario::keyed`]).
+    pub fn with_keyed(mut self, keyed: crate::keyed::KeyedSpec) -> Self {
+        self.keyed = Some(keyed);
+        self
     }
 
     /// The wrapper scenario [`run_lbench`](crate::run_lbench) submits:
@@ -669,6 +683,11 @@ pub(crate) fn percentile(sorted: &[u64], pct: f64) -> u64 {
 /// legacy `cfg.read_pct` / `cfg.patience_ns` fields are wrapper inputs
 /// and are **not** consulted here.
 pub fn run_scenario(kind: AnyLockKind, scenario: &Scenario, cfg: &LBenchConfig) -> ScenarioResult {
+    // Keyed scenarios own their lock construction (the factory builds one
+    // lock per shard), so they branch before any lock exists here.
+    if let Some(spec) = &scenario.keyed {
+        return crate::keyed::run_keyed(kind, spec, scenario, cfg);
+    }
     let topo = Arc::new(Topology::new(cfg.clusters));
     let lock = kind.make(&topo, cfg.policy);
     run_scenario_on(kind, lock, topo, scenario, cfg)
@@ -685,6 +704,10 @@ pub fn run_scenario_on(
 ) -> ScenarioResult {
     assert!(cfg.threads >= 1);
     assert!(scenario.read_pct <= 100, "read_pct is a percentage");
+    assert!(
+        scenario.keyed.is_none(),
+        "keyed scenarios go through run_scenario (the factory owns lock construction)"
+    );
     // Guard hand-built shapes too (the constructors already validate):
     // an over-100 phase would silently become all-reads, an empty
     // on-window a zero-op run.

@@ -19,15 +19,23 @@
 //!   [`BenchLock`](lbench::BenchLock), mirroring the paper's interpose
 //!   library (the application code is oblivious to which lock it runs
 //!   under).
-//! * [`workload`] — a memaslap-style driver: configurable get/set mix over
-//!   a uniform keyspace, reporting operations per (virtual) second; the
-//!   Table 1 binary normalizes these into speedups.
+//! * [`ShardedKvStore`] — the production-scale layer: N independent
+//!   [`SharedKvStore`] shards behind a key hash, each with its own cache
+//!   lock, directory, and handoff channel; [`KvServiceFactory`] plugs
+//!   the whole thing into the scenario engine's keyed-op dimension.
+//! * [`workload`] — a memaslap-style driver: configurable get/set mix
+//!   and key distribution over the keyspace, now a thin wrapper that
+//!   builds a keyed [`Scenario`](lbench::Scenario) and calls
+//!   [`run_scenario`](lbench::run_scenario); the Table 1 binary
+//!   normalizes its numbers into speedups.
 
 #![warn(missing_docs)]
 
+mod sharded;
 mod shared;
 mod store;
 pub mod workload;
 
+pub use sharded::{KvServiceFactory, ShardLockSpec, ShardedKvStore};
 pub use shared::SharedKvStore;
 pub use store::{KvConfig, KvStats, KvStore};

@@ -106,12 +106,16 @@ impl SharedKvStore {
         self.with_lock(|s| s.set(key, stamp, cluster))
     }
 
-    /// Statistics snapshot: the store's own counters, plus the read-path
-    /// hit/miss counts when running under a reader-writer lock.
+    /// Statistics snapshot: the store's own counters merged (via
+    /// [`KvStats::merge`]) with the read-path hit/miss counts kept
+    /// outside the store when running under a reader-writer lock.
     pub fn stats(&self) -> KvStats {
         let mut stats = self.with_lock(|s| s.stats());
-        stats.hits += self.rw_hits.load(Ordering::Relaxed);
-        stats.misses += self.rw_misses.load(Ordering::Relaxed);
+        stats.merge(&KvStats {
+            hits: self.rw_hits.load(Ordering::Relaxed),
+            misses: self.rw_misses.load(Ordering::Relaxed),
+            ..KvStats::default()
+        });
         stats
     }
 

@@ -44,6 +44,20 @@ pub struct KvStats {
     pub evictions: u64,
 }
 
+impl KvStats {
+    /// Accumulates `other` into `self`, field by field. This is how the
+    /// layered stores aggregate: `SharedKvStore` merges its read-path
+    /// counters into the inner store's snapshot, and `ShardedKvStore`
+    /// merges every shard's snapshot into one service-wide view.
+    pub fn merge(&mut self, other: &KvStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.updates += other.updates;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+    }
+}
+
 /// One item: key, a value stamp (stands in for the bytes), hash chain and
 /// LRU links. Links are slab indices (`usize::MAX` = none).
 #[derive(Clone, Debug)]
@@ -371,6 +385,40 @@ mod tests {
             CostModel::t5440(),
         ));
         KvStore::new(cfg, dir)
+    }
+
+    #[test]
+    fn stats_merge_sums_every_field() {
+        let mut a = KvStats {
+            hits: 1,
+            misses: 2,
+            updates: 3,
+            inserts: 4,
+            evictions: 5,
+        };
+        let b = KvStats {
+            hits: 10,
+            misses: 20,
+            updates: 30,
+            inserts: 40,
+            evictions: 50,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            KvStats {
+                hits: 11,
+                misses: 22,
+                updates: 33,
+                inserts: 44,
+                evictions: 55,
+            }
+        );
+        // Merging the default is the identity — the shard layer folds
+        // over an all-defaults accumulator.
+        a.merge(&KvStats::default());
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.evictions, 55);
     }
 
     #[test]

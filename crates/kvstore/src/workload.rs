@@ -3,22 +3,33 @@
 //! The paper drives memcached with memaslap configured for three get/set
 //! mixes — 90/10 (read-heavy), 50/50 (mixed), 10/90 (write-heavy) — and
 //! reports, per lock and thread count, the speedup over the 1-thread
-//! pthread run. This module reproduces the server side of that setup: each
-//! worker thread plays both the network front-end (a modelled, parallel
-//! per-request overhead) and the storage engine (hash table + LRU under
-//! the cache lock).
+//! pthread run. This module reproduces the client side of that setup as a
+//! **thin wrapper over the scenario engine**: [`KvWorkload`] translates
+//! into a keyed [`Scenario`] (the get percentage is the read mix, the key
+//! distribution the [`KeyDist`], the store a [`KvServiceFactory`]-built
+//! [`ShardedKvStore`](crate::ShardedKvStore)), and [`run_kv`] is one
+//! `run_scenario` call. The hand-rolled measurement loop this module used
+//! to carry — the last `Measure::Custom` holdout — is gone; the
+//! `kv_scenario_parity` integration test pins that the engine reproduces
+//! its historical numbers exactly.
+//!
+//! One deliberate edge: at `get_pct = 0` the engine skips the read/write
+//! coin entirely (see [`Scenario`]'s coin rules) where the legacy loop
+//! still drew it. Every mix the exhibits run (90/50/10) draws the coin on
+//! both paths, so parity holds everywhere it is asserted.
 
-use crate::shared::SharedKvStore;
-use crate::store::{KvConfig, KvStore};
-use coherence_sim::{CostModel, Directory, HandoffChannel};
-use lbench::pace::{kappa_for, spin_wall};
-use lbench::{LockKind, PolicySpec};
-use numa_topology::{bind_current_thread, vclock, ClusterId, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
-use std::time::{Duration, Instant};
+use crate::sharded::KvServiceFactory;
+use crate::store::KvConfig;
+use coherence_sim::CostModel;
+use lbench::{
+    run_scenario, AnyLockKind, KeyDist, KeyedSpec, LBenchConfig, LockKind, PolicySpec, Scenario,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The legacy drivers' per-thread RNG seed base (thread `i` seeds
+/// `0x6B76 ^ i` — "kv").
+const KV_SEED: u64 = 0x6B76;
 
 /// Workload parameters.
 #[derive(Clone, Debug)]
@@ -29,15 +40,20 @@ pub struct KvWorkload {
     pub threads: usize,
     /// NUMA clusters.
     pub clusters: usize,
+    /// Store shards (1 = the paper's single cache lock).
+    pub shards: usize,
     /// Distinct keys driven by the clients.
     pub keyspace: u64,
+    /// Key distribution over the keyspace (the paper's memaslap drives
+    /// uniform keys; `fig_shards` sweeps skew).
+    pub dist: KeyDist,
     /// Virtual measurement window (ns).
     pub window_ns: u64,
     /// Modelled out-of-lock request handling (parsing, socket work) per
     /// operation — the parallel fraction that sets the Amdahl plateau the
     /// paper's Table 1 shows (~4.5–5× even with perfect locks).
     pub parse_ns: u64,
-    /// Store geometry.
+    /// Store geometry (per shard).
     pub store: KvConfig,
     /// Latency model.
     pub cost: CostModel,
@@ -62,7 +78,9 @@ impl Default for KvWorkload {
             get_pct: 90,
             threads: 4,
             clusters: 4,
+            shards: 1,
             keyspace: 8192,
+            dist: KeyDist::Uniform,
             window_ns: 10_000_000,
             parse_ns: 6_000,
             store: KvConfig::default(),
@@ -70,6 +88,43 @@ impl Default for KvWorkload {
             max_wall: Duration::from_secs(60),
             policy: None,
             rw: false,
+        }
+    }
+}
+
+impl KvWorkload {
+    /// The keyed [`Scenario`] this workload describes — shared between
+    /// [`run_kv`] and the `Measure::Scenario` exhibits, so both drive
+    /// the identical engine path.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::steady()
+            .with_read_pct(self.get_pct)
+            .with_keyed(KeyedSpec {
+                keyspace: self.keyspace,
+                dist: self.dist.clone(),
+                parse_ns: self.parse_ns,
+                seed: KV_SEED,
+                factory: Arc::new(KvServiceFactory {
+                    shards: self.shards,
+                    keyspace: self.keyspace,
+                    store: self.store,
+                    cost: self.cost,
+                    policy: self.policy,
+                    rw: self.rw,
+                }),
+            })
+    }
+
+    /// The engine config this workload describes (see
+    /// [`scenario`](Self::scenario)).
+    pub fn lbench_config(&self) -> LBenchConfig {
+        LBenchConfig {
+            threads: self.threads,
+            clusters: self.clusters,
+            window_ns: self.window_ns,
+            max_wall: self.max_wall,
+            cost: self.cost,
+            ..Default::default()
         }
     }
 }
@@ -104,118 +159,23 @@ pub struct KvRunResult {
     pub wall: Duration,
 }
 
-/// Runs the workload with `kind` as the cache lock.
+/// Runs the workload with `kind` as the cache lock: one
+/// [`run_scenario`] call over the keyed scenario, narrowed back to the
+/// legacy result surface.
 pub fn run_kv(kind: LockKind, w: &KvWorkload) -> KvRunResult {
-    let topo = Arc::new(Topology::new(w.clusters));
-    let dir = Arc::new(Directory::new(KvStore::lines_needed(&w.store), w.cost));
-    let kv = KvStore::new(w.store, Arc::clone(&dir));
-    let store = Arc::new(if w.rw {
-        SharedKvStore::with_rw_lock(kind.make_rw_cache_lock(&topo, w.policy), kv)
-    } else {
-        SharedKvStore::new(kind.make_with_optional_policy(&topo, w.policy), kv)
-    });
-    let handoff = Arc::new(HandoffChannel::new(w.cost));
-    // Shared-read gets bypass the lock-serialization accounting below.
-    let shared_reads = store.reads_are_shared();
-
-    // Warm phase: populate the keyspace (mirrors memaslap's preload).
-    {
-        let c0 = ClusterId::new(0);
-        store.with_lock(|s| {
-            for k in 0..w.keyspace {
-                s.set(k, k, c0);
-            }
-        });
-    }
-
-    let stop = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(w.threads));
-    let started = Instant::now();
-    let kappa = kappa_for(w.threads);
-
-    let handles: Vec<_> = (0..w.threads)
-        .map(|i| {
-            let topo = Arc::clone(&topo);
-            let store = Arc::clone(&store);
-            let handoff = Arc::clone(&handoff);
-            let stop = Arc::clone(&stop);
-            let barrier = Arc::clone(&barrier);
-            let w = w.clone();
-            std::thread::spawn(move || {
-                let my_cluster = ClusterId::new((i % w.clusters) as u32);
-                bind_current_thread(&topo, my_cluster);
-                vclock::reset();
-                let mut rng = StdRng::seed_from_u64(0x6B76 ^ i as u64);
-                let mut ops = 0u64;
-                barrier.wait();
-                let wall_start = Instant::now();
-                let mut check = 0u32;
-                while !stop.load(Ordering::Relaxed) {
-                    let key = rng.gen_range(0..w.keyspace);
-                    let is_get = rng.gen_range(0u32..100) < w.get_pct;
-                    if is_get && shared_reads {
-                        // Read path: concurrent readers serialize on
-                        // nothing, so no handoff-channel charge — their
-                        // clocks advance independently, which is exactly
-                        // the parallelism the RW lock buys.
-                        let cs_start = vclock::now();
-                        store.get(key, my_cluster);
-                        let charged = vclock::now().saturating_sub(cs_start);
-                        spin_wall((charged * kappa).min(100_000), true);
-                        if vclock::now() >= w.window_ns {
-                            stop.store(true, Ordering::Relaxed);
-                        }
-                    } else {
-                        store.with_lock(|s| {
-                            handoff.on_acquire(my_cluster);
-                            let cs_start = vclock::now();
-                            if is_get {
-                                s.get(key, my_cluster);
-                            } else {
-                                s.set(key, ops, my_cluster);
-                            }
-                            let charged = vclock::now().saturating_sub(cs_start);
-                            // Hold in wall time what the model charged
-                            // (see lbench pacing docs).
-                            spin_wall((charged * kappa).min(100_000), true);
-                            if vclock::now() >= w.window_ns {
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                            handoff.on_release(my_cluster);
-                        });
-                    }
-                    ops += 1;
-                    // Out-of-lock request handling (parallel fraction).
-                    vclock::advance(w.parse_ns);
-                    spin_wall(w.parse_ns * kappa, true);
-
-                    check = check.wrapping_add(1);
-                    if check.is_multiple_of(256) && wall_start.elapsed() > w.max_wall {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                }
-                ops
-            })
-        })
-        .collect();
-
-    let mut total_ops = 0u64;
-    for h in handles {
-        total_ops += h.join().expect("kv worker panicked");
-    }
-    let cstats = store.cohort_stats();
+    let r = run_scenario(AnyLockKind::Excl(kind), &w.scenario(), &w.lbench_config());
     KvRunResult {
         kind,
         threads: w.threads,
         get_pct: w.get_pct,
-        total_ops,
-        throughput: total_ops as f64 / (w.window_ns as f64 / 1e9),
-        migrations: handoff.migrations(),
-        acquisitions: handoff.acquisitions(),
-        policy: store.policy_label(),
-        tenures: cstats.as_ref().map(|s| s.tenures()).unwrap_or(0),
-        mean_streak: cstats.as_ref().map(|s| s.mean_streak()).unwrap_or(0.0),
-        wall: started.elapsed(),
+        total_ops: r.total_ops,
+        throughput: r.throughput,
+        migrations: r.migrations,
+        acquisitions: r.acquisitions,
+        policy: r.policy,
+        tenures: r.tenures,
+        mean_streak: r.mean_streak,
+        wall: r.wall,
     }
 }
 
@@ -333,5 +293,27 @@ mod tests {
             cohort_rate < mcs_rate,
             "cohort {cohort_rate:.3} vs mcs {mcs_rate:.3}"
         );
+    }
+
+    #[test]
+    fn sharded_run_spreads_load_and_keeps_counters_coherent() {
+        let mut w = quick(8, 50);
+        w.shards = 4;
+        let r = run_kv(LockKind::CBoMcs, &w);
+        assert!(r.total_ops > 100, "ops {}", r.total_ops);
+        assert!(
+            r.acquisitions >= r.total_ops,
+            "every op is exclusive in mutex mode"
+        );
+        assert!(r.tenures > 0, "shard cohort stats merged");
+    }
+
+    #[test]
+    fn zipfian_drive_still_completes() {
+        let mut w = quick(4, 90);
+        w.shards = 2;
+        w.dist = KeyDist::Zipfian { theta: 0.9 };
+        let r = run_kv(LockKind::CBoMcs, &w);
+        assert!(r.total_ops > 100, "ops {}", r.total_ops);
     }
 }

@@ -323,16 +323,21 @@ macro_rules! prop_assert_ne {
 /// Each declared test runs `cases` times with fresh generated inputs; a
 /// panic in the body fails the test, and the harness prints the generated
 /// inputs of the failing case first.
+///
+/// Attributes — including `///` doc comments, which desugar to
+/// `#[doc = "…"]` — are passed through verbatim, so a documented
+/// `#[test]` inside the block expands like the real macro instead of
+/// aborting the expansion.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
         $crate::proptest!(@with_config ($config) $($rest)*);
     };
     (@with_config ($config:expr) $(
-        #[test]
+        $(#[$meta:meta])*
         fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
     )*) => {$(
-        #[test]
+        $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
             for case in 0..config.cases {
@@ -396,6 +401,13 @@ mod tests {
         #[test]
         fn vec_strategy_bounds_length(v in crate::collection::vec(0u8..255, 2..7)) {
             prop_assert!((2..7).contains(&v.len()));
+        }
+
+        /// Doc comments inside the block desugar to `#[doc = "…"]` and
+        /// must pass through the matcher (they used to abort expansion).
+        #[test]
+        fn doc_comments_are_accepted(x in 0u64..4) {
+            prop_assert!(x < 4);
         }
     }
 }
