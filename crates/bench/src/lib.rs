@@ -19,6 +19,10 @@
 //! * `LBENCH_COST_MODE` — `realtime` (default) or `modelled`: switches
 //!   the scenario exhibits to the deterministic modelled-coherence
 //!   substrate (see [`cost_mode`]).
+//! * `LBENCH_TOPOLOGY` — `virtual` (default) or `measured`: run on the
+//!   probed core-to-core latency cluster map with physical thread
+//!   pinning (see [`topology_mode`]); `LBENCH_PROBE_SKIP=1` forces the
+//!   virtual fallback without probing (CI).
 //! * `RESULTS_DIR` — where CSV copies are written (default `results/`).
 //!
 //! Knob parsing is strict (`lbench::env`): a present-but-malformed value
@@ -44,7 +48,7 @@ use coherence_sim::CostModel;
 use lbench::env::{
     env_choice, env_positive_usize, env_positive_usize_list, env_range_u64, env_u64, EnvKnobError,
 };
-use lbench::{CostMode, LBenchConfig};
+use lbench::{CostMode, LBenchConfig, TopologyMode};
 use std::time::Duration;
 
 /// Unwraps an env-knob parse, aborting the binary with the knob-naming
@@ -79,6 +83,16 @@ pub fn clusters() -> usize {
         .unwrap_or(4)
 }
 
+/// Topology backend for the sweeps (`LBENCH_TOPOLOGY`): `virtual` (the
+/// default — round-robin virtual clusters) or `measured` (probe the
+/// machine's core-to-core latencies once per process, run on the
+/// discovered cluster map with workers pinned to physical CPUs; falls
+/// back to virtual clusters with a logged reason when probing is
+/// impossible). Any other value aborts through the strict knob path.
+pub fn topology_mode() -> TopologyMode {
+    knob_or_die(TopologyMode::from_env())
+}
+
 /// The default LBench configuration for the figure sweeps.
 pub fn base_config(threads: usize) -> LBenchConfig {
     LBenchConfig {
@@ -86,6 +100,7 @@ pub fn base_config(threads: usize) -> LBenchConfig {
         clusters: clusters(),
         window_ns: window_ns(),
         max_wall: Duration::from_secs(60),
+        topology: topology_mode(),
         ..Default::default()
     }
 }

@@ -77,6 +77,16 @@ pub const FIG_SHARDS_HEADER: &str = "lock,shards,clients,dist,clusters,read_pct,
      total_ops,read_ops,write_ops,acquisitions,migrations,misses_per_cs,mean_batch,tenures,\
      local_handoffs,mean_streak,lat_p50_ns,lat_p99_ns,policy";
 
+/// Header of `fig_topology.csv` (written by the `fig_topology` binary):
+/// one row per probed CPU pair (upper triangle, `cpu_a <= cpu_b`) with
+/// the measured one-way latency and the cluster each endpoint landed in —
+/// the latency matrix and the cluster map in one long-form table. On
+/// machines where probing is impossible the binary falls back to virtual
+/// clusters and emits one synthetic CPU per virtual cluster priced by the
+/// cost model (`source` then says `virtual` instead of `measured`), so
+/// the file stays schema-stable everywhere.
+pub const FIG_TOPOLOGY_HEADER: &str = "source,cpu_a,cpu_b,lat_ns,cluster_a,cluster_b";
+
 /// Header of the policy-sweep CSVs (`ablation_policy.csv`,
 /// `ablation_handoff.csv`; rows built by [`crate::policy_csv_row`]).
 pub const POLICY_HEADER: &str = "lock,policy,threads,throughput,stddev_pct,mean_batch,\
@@ -95,6 +105,7 @@ pub fn expected_header(file_name: &str) -> Option<String> {
         "fig_scenarios.csv" => Some(FIG_SCENARIOS_HEADER.to_string()),
         "fig_model.csv" => Some(FIG_MODEL_HEADER.to_string()),
         "fig_shards.csv" => Some(FIG_SHARDS_HEADER.to_string()),
+        "fig_topology.csv" => Some(FIG_TOPOLOGY_HEADER.to_string()),
         "ablation_policy.csv" | "ablation_handoff.csv" => Some(POLICY_HEADER.to_string()),
         "fig2_throughput.csv"
         | "fig2_lat_p50.csv"
@@ -168,6 +179,7 @@ mod tests {
             FIG_SCENARIOS_HEADER,
             FIG_MODEL_HEADER,
             FIG_SHARDS_HEADER,
+            FIG_TOPOLOGY_HEADER,
             POLICY_HEADER,
         ] {
             assert!(!h.contains(' '), "continuation indent leaked: {h}");
@@ -212,6 +224,12 @@ mod tests {
         assert!(s.ends_with("policy"), "{s}");
         // Modelled substrate: deterministic, so no wall column.
         assert!(!s.contains("wall"), "{s}");
+    }
+
+    #[test]
+    fn topology_header_is_pinned() {
+        let t = expected_header("fig_topology.csv").unwrap();
+        assert_eq!(t, "source,cpu_a,cpu_b,lat_ns,cluster_a,cluster_b");
     }
 
     #[test]

@@ -276,7 +276,14 @@ pub(crate) fn run_keyed(
 ) -> ScenarioResult {
     assert!(cfg.threads >= 1);
     assert!(scenario.read_pct <= 100, "read_pct is a percentage");
-    let topo = Arc::new(Topology::new(cfg.clusters));
+    // Same topology resolution as `run_scenario`: measured mode swaps in
+    // the probed cluster map (with physical pinning), falling back to
+    // virtual clusters with one warning per run.
+    let (topo, clusters) = crate::phys::resolve_topology(cfg);
+    let cfg = &LBenchConfig {
+        clusters,
+        ..cfg.clone()
+    };
     let service = spec.factory.build(kind, &topo, scenario, cfg);
     if matches!(scenario.cost_mode, CostMode::Modelled(_)) {
         return run_keyed_modelled(kind, spec, scenario, cfg, &*service);
@@ -289,6 +296,8 @@ pub(crate) fn run_keyed(
     // (never consulting pace_wall/pace_scale); parity keeps that.
     let kappa = kappa_for(cfg.threads);
     let draws_coin = scenario.draws_coin(kind);
+    let pin_report = crate::phys::PinReport::new();
+    let mut cluster_ranks = vec![0usize; cfg.clusters];
 
     let handles: Vec<_> = (0..cfg.threads)
         .map(|i| {
@@ -296,12 +305,20 @@ pub(crate) fn run_keyed(
             let service = Arc::clone(&service);
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
+            let pin_report = Arc::clone(&pin_report);
             let cfg = cfg.clone();
             let scenario = scenario.clone();
             let spec = spec.clone();
+            let rank = {
+                let c = cluster_for(i, &cfg).as_usize();
+                let r = cluster_ranks[c];
+                cluster_ranks[c] += 1;
+                r
+            };
             std::thread::spawn(move || {
                 let my_cluster = cluster_for(i, &cfg);
                 bind_current_thread(&topo, my_cluster);
+                pin_report.pin_worker(&topo, my_cluster, rank);
                 vclock::reset();
                 take_thread_stats();
                 let mut rng = StdRng::seed_from_u64(spec.seed ^ i as u64);
@@ -383,6 +400,7 @@ pub(crate) fn run_keyed(
         remote_misses += stats.remote_misses;
         lat_parts.push(thread_lat);
     }
+    pin_report.log();
     assemble(
         kind,
         scenario,

@@ -55,6 +55,7 @@ pub mod env;
 mod keyed;
 mod modelled;
 pub mod pace;
+pub mod phys;
 mod registry;
 mod runner;
 mod scenario;
@@ -68,6 +69,7 @@ pub use bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 pub use cohort::{CohortStats, PolicySpec};
 pub use env::EnvKnobError;
 pub use keyed::{KeyDist, KeyedCtx, KeyedOp, KeyedService, KeyedServiceFactory, KeyedSpec};
+pub use phys::TopologyMode;
 pub use registry::{AnyLockKind, LockKind, ModelledAdmission, RwLockKind, TenureLimit};
 pub use runner::{
     run_lbench, run_lbench_on, run_rw_lbench, LBenchConfig, LBenchResult, Placement, RwBenchResult,

@@ -118,6 +118,13 @@ pub struct LBenchConfig {
     pub max_wall: Duration,
     /// Virtual or wall time.
     pub mode: TimeMode,
+    /// Topology backend: virtual clusters (the default) or the measured
+    /// cluster map with physical worker pinning (`LBENCH_TOPOLOGY`, see
+    /// [`crate::phys`]). With `Measured`, the probe's cluster count
+    /// overrides `clusters` for the run; on single-CPU machines or when
+    /// probing fails, the run falls back to virtual clusters with one
+    /// logged warning.
+    pub topology: crate::phys::TopologyMode,
 }
 
 impl Default for LBenchConfig {
@@ -139,6 +146,7 @@ impl Default for LBenchConfig {
             read_pct: 0,
             max_wall: Duration::from_secs(20),
             mode: TimeMode::Virtual,
+            topology: crate::phys::TopologyMode::Virtual,
         }
     }
 }

@@ -688,9 +688,16 @@ pub fn run_scenario(kind: AnyLockKind, scenario: &Scenario, cfg: &LBenchConfig) 
     if let Some(spec) = &scenario.keyed {
         return crate::keyed::run_keyed(kind, spec, scenario, cfg);
     }
-    let topo = Arc::new(Topology::new(cfg.clusters));
+    // Measured mode may replace the virtual geometry with the probed
+    // cluster map (one warning per run on fallback); the effective
+    // cluster count then drives thread placement below.
+    let (topo, clusters) = crate::phys::resolve_topology(cfg);
+    let cfg = LBenchConfig {
+        clusters,
+        ..cfg.clone()
+    };
     let lock = kind.make(&topo, cfg.policy);
-    run_scenario_on(kind, lock, topo, scenario, cfg)
+    run_scenario_on(kind, lock, topo, scenario, &cfg)
 }
 
 /// Runs `scenario` against an already-constructed lock (used by
@@ -734,6 +741,10 @@ pub fn run_scenario_on(
     let started = Instant::now();
     let serial_reads = lock.read_is_exclusive();
     let draws_coin = scenario.draws_coin(kind);
+    let pin_report = crate::phys::PinReport::new();
+    // Worker index within its own cluster, for spreading a cluster's
+    // threads over the cluster's physical CPUs (pinned topologies only).
+    let mut cluster_ranks = vec![0usize; cfg.clusters];
 
     let handles: Vec<_> = (0..cfg.threads)
         .map(|i| {
@@ -743,11 +754,19 @@ pub fn run_scenario_on(
             let handoff = Arc::clone(&handoff);
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
+            let pin_report = Arc::clone(&pin_report);
             let cfg = cfg.clone();
             let scenario = scenario.clone();
+            let rank = {
+                let c = cluster_for(i, &cfg).as_usize();
+                let r = cluster_ranks[c];
+                cluster_ranks[c] += 1;
+                r
+            };
             std::thread::spawn(move || {
                 let my_cluster = cluster_for(i, &cfg);
                 bind_current_thread(&topo, my_cluster);
+                pin_report.pin_worker(&topo, my_cluster, rank);
                 vclock::reset();
                 take_thread_stats();
                 let mut rng = StdRng::seed_from_u64(0x5EED ^ i as u64);
@@ -936,6 +955,7 @@ pub fn run_scenario_on(
         remote_misses += stats.remote_misses;
         lat_parts.push(thread_lat);
     }
+    pin_report.log();
     let mut lat = merge_lat_reservoirs(lat_parts);
     lat.sort_unstable();
 

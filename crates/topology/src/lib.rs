@@ -17,11 +17,15 @@
 //!    [`bind_current_thread`] to place threads deterministically (e.g.
 //!    blocked placement: threads 0..63 on cluster 0, like taskset on the
 //!    real machine).
-//! 3. **OS affinity** (Linux): [`affinity::pin_to_cpus`] pins the calling
-//!    thread to a CPU set via `sched_setaffinity`, so on a real multi-socket
-//!    box virtual clusters can be backed by physical sockets. This uses a
-//!    single `extern "C"` declaration instead of a `libc` dependency (see
-//!    DESIGN.md §3).
+//! 3. **Measured topology** (Linux): the [`probe`] module bounces a
+//!    `CachePadded` cache line between every pair of CPUs (CAS ping-pong
+//!    or read/write flag cells, threads pinned via
+//!    [`affinity::pin_to_cpus`]) to measure the core-to-core latency
+//!    matrix, [`measured`] clusters the matrix at its largest latency
+//!    gap, and [`Topology::measured`]/[`Topology::pinned`] turn the
+//!    cluster map into a placement domain whose workers can bind to
+//!    physical CPUs. Affinity syscalls use a single `extern "C"`
+//!    declaration instead of a `libc` dependency (see DESIGN.md §3).
 //!
 //! The crate also hosts the **virtual clock** ([`vclock`]) used by the
 //! benchmark harness to measure time in a hardware-independent way.
@@ -31,12 +35,17 @@
 pub mod affinity;
 mod cluster;
 pub mod detect;
+pub mod measured;
+pub mod probe;
 pub mod vclock;
 
+pub use affinity::AffinityError;
 pub use cluster::{
     bind_current_thread, current_cluster, current_cluster_in, global_topology,
-    reset_thread_binding, ClusterId, Topology,
+    reset_thread_binding, ClusterId, Topology, TopologySource,
 };
+pub use measured::MeasuredTopology;
+pub use probe::{LatencyMatrix, ProbeConfig, ProbeError, ProbeMode};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,275 @@
+//! Clustering a measured latency matrix into a cluster map.
+//!
+//! The probe ([`crate::probe`]) hands over an NxN one-way latency matrix;
+//! this module finds the NUMA structure in it. The rule is deliberately
+//! simple — a single threshold found at the **largest relative gap** of
+//! the sorted pair latencies:
+//!
+//! 1. Collect all off-diagonal latencies and sort them.
+//! 2. Find the consecutive pair `(v[k], v[k+1])` with the largest ratio
+//!    `v[k+1] / v[k]`.
+//! 3. If that ratio is below [`GAP_RATIO_MIN`] the machine is flat (one
+//!    cluster): measurement jitter spreads values smoothly, whereas a real
+//!    socket boundary shows as a multiplicative cliff (≈4–10× on
+//!    mainstream two-socket boxes).
+//! 4. Otherwise, every pair *below* the gap is a "local" edge; the
+//!    clusters are the connected components of the local-edge graph
+//!    (computed by union-find, so the result is independent of CPU
+//!    enumeration order).
+//!
+//! Connected components form a partition by construction: every probed
+//! CPU lands in exactly one cluster, and relabeling the CPUs permutes the
+//! clusters without changing their membership — both properties are
+//! locked in by the proptests in `tests/proptest_measured.rs`.
+
+use crate::probe::LatencyMatrix;
+
+/// Minimum multiplicative jump between consecutive sorted latencies to
+/// call it a cluster boundary. Real cross-socket cliffs are ≥2×; probe
+/// jitter between equivalent pairs stays well under 1.5×.
+pub const GAP_RATIO_MIN: f64 = 1.5;
+
+/// Minimal union-find over dense indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic rule (smaller root wins) keeps the result
+            // independent of edge-processing order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Partitions the matrix's CPUs into latency clusters.
+///
+/// Returns one sorted CPU-id list per cluster; clusters are ordered by
+/// their smallest CPU id. A matrix with no exploitable gap (uniform
+/// latencies, or a single CPU) yields one cluster holding every CPU; an
+/// empty matrix yields no clusters.
+pub fn cluster_matrix(m: &LatencyMatrix) -> Vec<Vec<usize>> {
+    let n = m.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![vec![m.cpus()[0]]];
+    }
+
+    // Sorted off-diagonal latencies (upper triangle; the matrix is
+    // symmetric by construction).
+    let mut vals: Vec<u64> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            vals.push(m.get(i, j));
+        }
+    }
+    vals.sort_unstable();
+
+    // Largest relative gap between consecutive sorted values.
+    let mut best_ratio = 0.0f64;
+    let mut threshold = u64::MAX;
+    for w in vals.windows(2) {
+        let (lo, hi) = (w[0].max(1), w[1].max(1));
+        let ratio = hi as f64 / lo as f64;
+        if ratio > best_ratio {
+            best_ratio = ratio;
+            // Everything ≤ w[0] is a local edge.
+            threshold = w[0];
+        }
+    }
+    if best_ratio < GAP_RATIO_MIN {
+        // Flat machine: one cluster.
+        let mut all = m.cpus().to_vec();
+        all.sort_unstable();
+        return vec![all];
+    }
+
+    let mut dsu = Dsu::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if m.get(i, j) <= threshold {
+                dsu.union(i, j);
+            }
+        }
+    }
+
+    // Components → sorted CPU lists, ordered by smallest CPU id.
+    let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let root = dsu.find(i);
+        by_root.entry(root).or_default().push(m.cpus()[i]);
+    }
+    let mut clusters: Vec<Vec<usize>> = by_root
+        .into_values()
+        .map(|mut cpus| {
+            cpus.sort_unstable();
+            cpus
+        })
+        .collect();
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+/// A machine topology discovered by probing: the raw latency matrix plus
+/// the cluster map derived from it.
+#[derive(Clone, Debug)]
+pub struct MeasuredTopology {
+    matrix: LatencyMatrix,
+    clusters: Vec<Vec<usize>>,
+}
+
+impl MeasuredTopology {
+    /// Clusters `matrix` (see [`cluster_matrix`]) and packages the
+    /// result.
+    pub fn from_matrix(matrix: LatencyMatrix) -> Self {
+        let clusters = cluster_matrix(&matrix);
+        MeasuredTopology { matrix, clusters }
+    }
+
+    /// Number of discovered clusters.
+    pub fn clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// CPU ids per cluster, sorted within each cluster; clusters ordered
+    /// by smallest CPU id.
+    pub fn cluster_cpus(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// One representative CPU per cluster (the smallest id).
+    pub fn representatives(&self) -> Vec<usize> {
+        self.clusters.iter().map(|c| c[0]).collect()
+    }
+
+    /// The cluster index a probed CPU belongs to, or `None` for CPUs the
+    /// probe never touched.
+    pub fn cluster_of(&self, cpu: usize) -> Option<usize> {
+        self.clusters.iter().position(|c| c.contains(&cpu))
+    }
+
+    /// The underlying latency matrix.
+    pub fn matrix(&self) -> &LatencyMatrix {
+        &self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a symmetric matrix where CPUs are grouped by
+    /// `groups[cpu_index]`: same-group pairs cost `local`, cross-group
+    /// pairs `remote`.
+    fn synthetic(cpus: &[usize], groups: &[usize], local: u64, remote: u64) -> LatencyMatrix {
+        let n = cpus.len();
+        let rows = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            0
+                        } else if groups[i] == groups[j] {
+                            local
+                        } else {
+                            remote
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        LatencyMatrix::from_rows(cpus.to_vec(), rows)
+    }
+
+    #[test]
+    fn two_socket_matrix_splits_in_two() {
+        // 4+4 cores, 100ns local, 800ns remote — a textbook 2-socket box.
+        let cpus: Vec<usize> = (0..8).collect();
+        let groups = [0, 0, 0, 0, 1, 1, 1, 1];
+        let m = synthetic(&cpus, &groups, 100, 800);
+        let clusters = cluster_matrix(&m);
+        assert_eq!(clusters, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+    }
+
+    #[test]
+    fn four_socket_matrix_splits_in_four() {
+        // Interleaved CPU numbering (socket = cpu % 4), as on many
+        // multi-socket x86 boxes.
+        let cpus: Vec<usize> = (0..16).collect();
+        let groups: Vec<usize> = cpus.iter().map(|c| c % 4).collect();
+        let m = synthetic(&cpus, &groups, 80, 600);
+        let clusters = cluster_matrix(&m);
+        assert_eq!(clusters.len(), 4);
+        assert_eq!(clusters[0], vec![0, 4, 8, 12]);
+        assert_eq!(clusters[3], vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn uniform_matrix_is_one_cluster() {
+        // Jittered-but-flat latencies (ratio < 1.5 between neighbours).
+        let cpus: Vec<usize> = (0..6).collect();
+        let rows: Vec<Vec<u64>> = (0..6)
+            .map(|i: usize| {
+                (0..6)
+                    .map(|j: usize| {
+                        if i == j {
+                            0
+                        } else {
+                            100 + ((i * 7 + j * 3) % 20) as u64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Symmetrize.
+        let mut sym = rows.clone();
+        for i in 0..6 {
+            for j in 0..6 {
+                let v = rows[i][j].max(rows[j][i]);
+                sym[i][j] = v;
+                sym[j][i] = v;
+            }
+        }
+        let m = LatencyMatrix::from_rows(cpus.clone(), sym);
+        assert_eq!(cluster_matrix(&m), vec![cpus]);
+    }
+
+    #[test]
+    fn degenerate_single_cpu_is_one_cluster() {
+        let m = LatencyMatrix::from_rows(vec![3], vec![vec![0]]);
+        assert_eq!(cluster_matrix(&m), vec![vec![3]]);
+        assert!(cluster_matrix(&LatencyMatrix::from_rows(vec![], vec![])).is_empty());
+    }
+
+    #[test]
+    fn measured_topology_accessors() {
+        let cpus: Vec<usize> = vec![0, 1, 8, 9];
+        let groups = [0, 0, 1, 1];
+        let t = MeasuredTopology::from_matrix(synthetic(&cpus, &groups, 100, 700));
+        assert_eq!(t.clusters(), 2);
+        assert_eq!(t.representatives(), vec![0, 8]);
+        assert_eq!(t.cluster_of(9), Some(1));
+        assert_eq!(t.cluster_of(42), None);
+        assert_eq!(t.matrix().n(), 4);
+    }
+}

@@ -1,0 +1,460 @@
+//! Pairwise core-to-core latency probing.
+//!
+//! On real hardware the cluster structure the cohort transformation
+//! exploits (sockets, CCXs, shared last-level caches) is visible as a
+//! *latency cliff*: bouncing one cache line between two cores on the same
+//! socket costs tens of nanoseconds, bouncing it across sockets costs
+//! hundreds. This module measures that cliff directly and hands the
+//! resulting NxN matrix to [`crate::measured`] for clustering.
+//!
+//! ## Probe protocol
+//!
+//! For every CPU pair `(a, b)` two threads are pinned (via
+//! [`affinity::pin_to_cpus`]) and play
+//! ping-pong over `CachePadded` atomic cells — each round trip forces the
+//! line's ownership to migrate `a → b → a`, so the measured time per round
+//! trip is twice the one-way transfer latency. Two cell protocols are
+//! implemented (both appear in the literature and in tools like
+//! `core-to-core-latency`):
+//!
+//! * **CAS** ([`ProbeMode::Cas`]): one shared cell; the ping side CASes
+//!   `PING → PONG`, the pong side CASes back. Each successful CAS is one
+//!   ownership transfer in exclusive state.
+//! * **Read/write** ([`ProbeMode::ReadWrite`]): two cells, one per
+//!   direction; each side publishes a sequence number with a `Release`
+//!   store and spins on an `Acquire` load of the other cell. This
+//!   exercises the shared→modified upgrade path instead of the CAS path.
+//!
+//! Every spin loop yields to the scheduler after a bounded number of
+//! iterations, so the probe terminates (slowly, but correctly) even when
+//! both "pinned" threads share one physical CPU — the situation in CI
+//! containers, where the caller is expected to fall back to virtual
+//! clusters anyway.
+
+use crate::affinity::{self, AffinityError};
+use crate::detect;
+use crossbeam_utils::CachePadded;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Spin iterations between scheduler yields inside the wait loops. Low
+/// enough that a single-CPU host makes progress, high enough that a real
+/// multi-core host never reaches the yield while the partner core
+/// responds at cache-coherence speed.
+const SPINS_PER_YIELD: u32 = 1 << 14;
+
+/// Which ping-pong cell protocol the probe uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// One shared cell, ownership transferred by compare-and-swap.
+    Cas,
+    /// Two cells, one writer each; `Release` store / `Acquire` load.
+    ReadWrite,
+}
+
+/// Tunables of one probing pass.
+#[derive(Clone, Debug)]
+pub struct ProbeConfig {
+    /// Timed round trips per sample.
+    pub rounds: u32,
+    /// Untimed warm-up round trips before the timed section (first-touch
+    /// faults, frequency ramp-up, cold branch predictors).
+    pub warmup: u32,
+    /// Independent samples per pair; the reported latency is the
+    /// **minimum** sample (least scheduling noise).
+    pub samples: u32,
+    /// Cell protocol.
+    pub mode: ProbeMode,
+    /// Upper bound on probed CPUs. Probing is O(N²) pairs; when the
+    /// machine has more online CPUs than this, an evenly-spaced subset is
+    /// probed (cluster structure is periodic in CPU numbering on every
+    /// mainstream enumeration scheme, so a stride sample still sees every
+    /// socket).
+    pub max_cpus: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            rounds: 400,
+            warmup: 100,
+            samples: 3,
+            mode: ProbeMode::Cas,
+            max_cpus: 16,
+        }
+    }
+}
+
+/// Why a probing pass produced no matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeError {
+    /// Fewer than two CPUs are available — nothing to bounce a line
+    /// between.
+    TooFewCpus {
+        /// How many CPUs were found.
+        found: usize,
+    },
+    /// Pinning a probe thread failed (e.g. the container's cpuset does
+    /// not include the nominally-online CPU).
+    Affinity(AffinityError),
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::TooFewCpus { found } => {
+                write!(f, "need at least 2 CPUs to probe, found {found}")
+            }
+            ProbeError::Affinity(e) => write!(f, "probe thread pinning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+impl From<AffinityError> for ProbeError {
+    fn from(e: AffinityError) -> Self {
+        ProbeError::Affinity(e)
+    }
+}
+
+/// A symmetric NxN one-way latency matrix over a set of probed CPUs.
+///
+/// `get(i, j)` is the measured one-way transfer latency between
+/// `cpus()[i]` and `cpus()[j]` in nanoseconds; the diagonal is zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyMatrix {
+    cpus: Vec<usize>,
+    /// Row-major `n x n` one-way latencies in ns.
+    ns: Vec<u64>,
+}
+
+impl LatencyMatrix {
+    /// Builds a matrix from explicit rows (tests and synthetic
+    /// topologies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not `cpus.len() x cpus.len()`.
+    pub fn from_rows(cpus: Vec<usize>, rows: Vec<Vec<u64>>) -> Self {
+        let n = cpus.len();
+        assert_eq!(rows.len(), n, "need one row per CPU");
+        let mut ns = Vec::with_capacity(n * n);
+        for row in &rows {
+            assert_eq!(row.len(), n, "rows must be square");
+            ns.extend_from_slice(row);
+        }
+        LatencyMatrix { cpus, ns }
+    }
+
+    /// Number of probed CPUs (the matrix is `n x n`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// The probed CPU ids, in matrix-index order.
+    #[inline]
+    pub fn cpus(&self) -> &[usize] {
+        &self.cpus
+    }
+
+    /// One-way latency between matrix indices `i` and `j`, in ns.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.ns[i * self.n() + j]
+    }
+}
+
+/// The CPUs this process may probe.
+///
+/// Parses `/sys/devices/system/cpu/online` (the kernel's cpulist of
+/// online CPUs) and falls back to `0..available_parallelism()` when the
+/// interface is missing or malformed. CPUs listed online but excluded
+/// from the process's cpuset surface later as an [`AffinityError`] when
+/// the probe tries to pin to them — callers treat that as "fall back to
+/// virtual clusters", not as a hard failure.
+pub fn online_cpus() -> Vec<usize> {
+    if let Ok(s) = std::fs::read_to_string("/sys/devices/system/cpu/online") {
+        if let Some(cpus) = detect::parse_cpulist(&s) {
+            if !cpus.is_empty() {
+                return cpus;
+            }
+        }
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (0..n).collect()
+}
+
+/// Selects at most `max` evenly-spaced CPUs from `cpus` (keeping the
+/// first), preserving order.
+pub fn sample_cpus(cpus: &[usize], max: usize) -> Vec<usize> {
+    assert!(max > 0);
+    if cpus.len() <= max {
+        return cpus.to_vec();
+    }
+    (0..max)
+        .map(|k| cpus[k * cpus.len() / max])
+        .collect::<Vec<_>>()
+}
+
+/// Everything the two probe threads share, on separate cache lines.
+struct PairCells {
+    /// Set when either side failed to pin; both sides then skip the
+    /// ping-pong entirely so neither blocks on a dead partner.
+    abort: AtomicBool,
+    /// CAS mode: the single ownership cell. ReadWrite mode: the
+    /// ping-owned sequence cell.
+    cell_a: CachePadded<AtomicU32>,
+    /// ReadWrite mode only: the pong-owned sequence cell.
+    cell_b: CachePadded<AtomicU32>,
+    /// Start-line barrier (after pinning, before the first transfer).
+    barrier: Barrier,
+}
+
+/// Spins until `cond` holds, yielding periodically so two loops
+/// timesharing one CPU still make progress.
+#[inline]
+fn spin_until(mut cond: impl FnMut() -> bool) {
+    let mut spins: u32 = 0;
+    while !cond() {
+        std::hint::spin_loop();
+        spins = spins.wrapping_add(1);
+        if spins.is_multiple_of(SPINS_PER_YIELD) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// CAS cell states: who owns the line next.
+const PING_TURN: u32 = 0;
+const PONG_TURN: u32 = 1;
+
+/// The responder side of one pair run: `iters` total transfers back.
+fn pong_body(cells: &PairCells, mode: ProbeMode, iters: u32) {
+    match mode {
+        ProbeMode::Cas => {
+            for _ in 0..iters {
+                spin_until(|| {
+                    cells
+                        .cell_a
+                        .compare_exchange(PONG_TURN, PING_TURN, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                });
+            }
+        }
+        ProbeMode::ReadWrite => {
+            for i in 1..=iters {
+                spin_until(|| cells.cell_a.load(Ordering::Acquire) >= i);
+                cells.cell_b.store(i, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// The initiating side: returns elapsed nanoseconds over the **timed**
+/// rounds (the `warmup` prefix is excluded).
+fn ping_body(cells: &PairCells, mode: ProbeMode, warmup: u32, rounds: u32) -> u64 {
+    let mut timer = Instant::now();
+    match mode {
+        ProbeMode::Cas => {
+            for i in 0..(warmup + rounds) {
+                if i == warmup {
+                    timer = Instant::now();
+                }
+                spin_until(|| {
+                    cells
+                        .cell_a
+                        .compare_exchange(PING_TURN, PONG_TURN, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                });
+            }
+            // Wait out the responder's final CAS so the line settles and
+            // the timed window covers full round trips.
+            spin_until(|| cells.cell_a.load(Ordering::Acquire) == PING_TURN);
+        }
+        ProbeMode::ReadWrite => {
+            for i in 1..=(warmup + rounds) {
+                if i == warmup + 1 {
+                    timer = Instant::now();
+                }
+                cells.cell_a.store(i, Ordering::Release);
+                spin_until(|| cells.cell_b.load(Ordering::Acquire) >= i);
+            }
+        }
+    }
+    timer.elapsed().as_nanos() as u64
+}
+
+/// Measures the one-way transfer latency between `cpu_a` and `cpu_b`, in
+/// nanoseconds (one timed sample).
+///
+/// Spawns two threads, pins them, and runs `cfg.warmup + cfg.rounds`
+/// round trips; the reported value is `elapsed / (2 * rounds)`. A pinning
+/// failure on either side aborts the pair cleanly (no deadlock) and is
+/// returned as [`ProbeError::Affinity`].
+pub fn probe_pair(cpu_a: usize, cpu_b: usize, cfg: &ProbeConfig) -> Result<u64, ProbeError> {
+    let cells = Arc::new(PairCells {
+        abort: AtomicBool::new(false),
+        cell_a: CachePadded::new(AtomicU32::new(PING_TURN)),
+        cell_b: CachePadded::new(AtomicU32::new(0)),
+        barrier: Barrier::new(2),
+    });
+    let mode = cfg.mode;
+    let (warmup, rounds) = (cfg.warmup, cfg.rounds.max(1));
+
+    let pong = {
+        let cells = Arc::clone(&cells);
+        std::thread::spawn(move || -> Result<(), AffinityError> {
+            let pinned = affinity::pin_to_cpus(&[cpu_b]);
+            if pinned.is_err() {
+                cells.abort.store(true, Ordering::Release);
+            }
+            cells.barrier.wait();
+            if cells.abort.load(Ordering::Acquire) {
+                return pinned;
+            }
+            pong_body(&cells, mode, warmup + rounds);
+            pinned
+        })
+    };
+
+    let ping = {
+        let cells = Arc::clone(&cells);
+        std::thread::spawn(move || -> Result<u64, AffinityError> {
+            let pinned = affinity::pin_to_cpus(&[cpu_a]);
+            if pinned.is_err() {
+                cells.abort.store(true, Ordering::Release);
+            }
+            cells.barrier.wait();
+            if cells.abort.load(Ordering::Acquire) {
+                return pinned.map(|()| 0);
+            }
+            let elapsed = ping_body(&cells, mode, warmup, rounds);
+            Ok(elapsed)
+        })
+    };
+
+    let pong_res = pong.join().expect("probe pong thread panicked");
+    let ping_res = ping.join().expect("probe ping thread panicked");
+    pong_res?;
+    let elapsed = ping_res?;
+    if cells.abort.load(Ordering::Acquire) {
+        // Both sides returned Ok but the run was aborted — impossible by
+        // construction (only a pin failure sets abort), kept as a guard.
+        return Err(ProbeError::Affinity(AffinityError::EmptySet));
+    }
+    // One round trip = two one-way transfers.
+    Ok((elapsed / (2 * rounds as u64)).max(1))
+}
+
+/// Probes every pair of `cpus` and assembles the symmetric latency
+/// matrix (minimum over `cfg.samples` samples per pair; diagonal zero).
+pub fn probe_matrix(cpus: &[usize], cfg: &ProbeConfig) -> Result<LatencyMatrix, ProbeError> {
+    if cpus.len() < 2 {
+        return Err(ProbeError::TooFewCpus { found: cpus.len() });
+    }
+    let n = cpus.len();
+    let mut ns = vec![0u64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut best = u64::MAX;
+            for _ in 0..cfg.samples.max(1) {
+                best = best.min(probe_pair(cpus[i], cpus[j], cfg)?);
+            }
+            ns[i * n + j] = best;
+            ns[j * n + i] = best;
+        }
+    }
+    Ok(LatencyMatrix {
+        cpus: cpus.to_vec(),
+        ns,
+    })
+}
+
+/// Probes this machine: online CPUs, capped to `cfg.max_cpus`
+/// evenly-spaced, all pairs measured.
+pub fn probe_machine(cfg: &ProbeConfig) -> Result<LatencyMatrix, ProbeError> {
+    let cpus = sample_cpus(&online_cpus(), cfg.max_cpus.max(2));
+    probe_matrix(&cpus, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProbeConfig {
+        ProbeConfig {
+            rounds: 64,
+            warmup: 8,
+            samples: 1,
+            ..ProbeConfig::default()
+        }
+    }
+
+    #[test]
+    fn sample_cpus_keeps_small_sets_and_strides_large_ones() {
+        assert_eq!(sample_cpus(&[0, 1, 2], 8), vec![0, 1, 2]);
+        let sampled = sample_cpus(&(0..64).collect::<Vec<_>>(), 4);
+        assert_eq!(sampled, vec![0, 16, 32, 48]);
+    }
+
+    #[test]
+    fn online_cpus_is_never_empty() {
+        assert!(!online_cpus().is_empty());
+    }
+
+    #[test]
+    fn matrix_rejects_single_cpu() {
+        assert_eq!(
+            probe_matrix(&[0], &tiny()),
+            Err(ProbeError::TooFewCpus { found: 1 })
+        );
+    }
+
+    // Both ping-pong protocols must terminate even when "both" CPUs are
+    // the same physical CPU (the CI container case) thanks to the yield
+    // in the spin loops. The latency number is meaningless there; only
+    // termination and well-formedness are asserted.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cas_pair_terminates_on_one_cpu() {
+        let lat = probe_pair(0, 0, &tiny()).expect("cas pair");
+        assert!(lat >= 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn read_write_pair_terminates_on_one_cpu() {
+        let cfg = ProbeConfig {
+            mode: ProbeMode::ReadWrite,
+            ..tiny()
+        };
+        let lat = probe_pair(0, 0, &cfg).expect("rw pair");
+        assert!(lat >= 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pair_surfaces_affinity_errors() {
+        // CPU 4097 cannot be expressed in the mask; the pair must abort
+        // cleanly (no deadlock) with the typed error.
+        match probe_pair(0, 4097, &tiny()) {
+            Err(ProbeError::Affinity(AffinityError::CpuOutOfRange { cpu: 4097 })) => {}
+            other => panic!("expected CpuOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = LatencyMatrix::from_rows(vec![0, 2], vec![vec![0, 7], vec![7, 0]]);
+        assert_eq!(m.n(), 2);
+        assert_eq!(m.cpus(), &[0, 2]);
+        assert_eq!(m.get(0, 1), 7);
+        assert_eq!(m.get(1, 1), 0);
+    }
+}
