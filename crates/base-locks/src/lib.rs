@@ -14,6 +14,7 @@
 //! | [`ClhLock`] | Craig '93; Magnussen et al. | implicit-predecessor queue lock |
 //! | [`AbortableClhLock`] | Scott PODC '02 ("CLH-NB try") | timeout-capable CLH |
 //! | [`ParkingLock`] | spin-then-park | blocking lock; thread-oblivious, cohort-ready |
+//! | [`ReciprocatingLock`] | Dice & Kogan, arXiv:2501.02380 | palindromic admission, constant-coherence handover |
 //!
 //! Every lock implements [`RawLock`]; timeout-capable ones also implement
 //! [`RawAbortableLock`]. The [`SpinMutex`] wrapper turns any `RawLock` into
@@ -40,6 +41,7 @@ mod mutex;
 mod parking;
 pub mod pool;
 mod raw;
+mod recip;
 mod tatas;
 mod ticket;
 
@@ -50,6 +52,7 @@ pub use mcs::McsLock;
 pub use mutex::{SpinMutex, SpinMutexGuard};
 pub use parking::ParkingLock;
 pub use raw::{RawAbortableLock, RawLock};
+pub use recip::{RecipToken, ReciprocatingLock};
 pub use tatas::{BackoffLock, FibBackoffLock, TatasLock};
 pub use ticket::TicketLock;
 

@@ -1,0 +1,347 @@
+//! The Reciprocating lock (Dice & Kogan, arXiv:2501.02380).
+//!
+//! A single word — `arrivals` — is the whole shared state. Entering
+//! threads push a wait element **living on their own stack frame** onto
+//! the arrivals stack with one CAS (no per-acquisition heap allocation,
+//! O(1) shared state per lock). The release path of the thread that
+//! drains a *segment* detaches the accumulated stack in one swap and
+//! admits it in reversed — *palindromic* — order: LIFO within the
+//! detached segment, FIFO across segments. Each handover then touches a
+//! **constant** number of cache lines (the successor's gate word),
+//! independent of queue depth — where an MCS-style queue's release must
+//! chase `next` pointers and a centralized word invalidates every
+//! spinner — and no waiter is bypassed more than once per admission
+//! *era* (the segment membership is frozen at detach time, so later
+//! arrivals cannot jump ahead of it).
+//!
+//! Two properties matter for this repository in particular:
+//!
+//! * **Thread-oblivious tokens.** The token is two plain words (the
+//!   successor pointer and the remaining era budget), so it is `Send`
+//!   and the matching `unlock` may run on a different thread — exactly
+//!   the property the *global* lock of a cohort composition needs
+//!   (§3.4), making `CohortLock<ReciprocatingLock, L>` (C-Recip-MCS)
+//!   well-formed without node pools.
+//! * **A bounded admission era.** [`ReciprocatingLock::with_era_bound`]
+//!   caps how many admissions one detached segment may serve; on
+//!   exhaustion the remainder is re-queued *underneath* the next era's
+//!   arrivals (one swap), so long-running segments cannot starve fresh
+//!   arrivals and the remainder keeps its relative order. The default
+//!   is unbounded, the paper's base algorithm.
+//!
+//! Encoding: `arrivals == 0` is unlocked; `arrivals == 1`
+//! (`LOCKED_EMPTY`) is locked with an empty stack; any other value is
+//! the address of the most recent arrival's wait element. Every pushed
+//! chain bottoms out at `LOCKED_EMPTY`, so segment termination is a
+//! value comparison and granted threads never CAS against a possibly
+//! recycled element address (no ABA on the release path). A waiter's
+//! gate doubles as the budget carrier: `0` is closed, any other value
+//! `g` grants the lock with `g - 1` admissions left in the era.
+
+use crate::raw::RawLock;
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `arrivals` value: unlocked, no waiters.
+const UNLOCKED: usize = 0;
+/// `arrivals` value: locked, empty arrivals stack. Also the bottom
+/// sentinel of every pushed chain.
+const LOCKED_EMPTY: usize = 1;
+/// Gate value while the owner has not granted yet.
+const GATE_CLOSED: usize = 0;
+
+/// One waiting thread's element, allocated on its own stack frame for
+/// the duration of `lock()` (cache-padded so the gate spin does not
+/// false-share with the frame around it).
+struct WaitElem {
+    /// `GATE_CLOSED` until granted; then `1 + remaining era budget`.
+    gate: AtomicUsize,
+    /// Next-older element in the arrivals stack; `LOCKED_EMPTY` at the
+    /// bottom of every chain.
+    next: AtomicUsize,
+}
+
+/// Acquisition token: the already-reversed successor pointer plus the
+/// era budget. Two plain words — `Send` — so the matching
+/// [`unlock`](RawLock::unlock) may run on another thread (the
+/// thread-obliviousness a cohort *global* lock requires).
+#[derive(Debug)]
+pub struct RecipToken {
+    /// Next element of the current segment to admit (0 = none).
+    succ: usize,
+    /// In-segment handovers still permitted before the era rolls over.
+    budget: usize,
+}
+
+impl RecipToken {
+    /// In-segment handovers still permitted before the era rolls over.
+    ///
+    /// Under [`ReciprocatingLock::with_era_bound`]`(b)` this is always
+    /// `< b` — a granted budget of `b` admissions yields a remaining
+    /// budget of at most `b − 1` — which is the observable form of the
+    /// bounded-bypass guarantee: a detached segment can serve at most
+    /// `b` critical sections before fresh arrivals get their turn.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+/// The Reciprocating lock: one-word arrivals stack, stack-frame wait
+/// elements, palindromic segment admission, constant-coherence handover.
+pub struct ReciprocatingLock {
+    arrivals: CachePadded<AtomicUsize>,
+    /// Maximum admissions per era (≥ 1; `usize::MAX` = unbounded).
+    era_bound: usize,
+}
+
+impl ReciprocatingLock {
+    /// Creates an unlocked instance with an unbounded admission era
+    /// (the paper's base algorithm).
+    pub fn new() -> Self {
+        Self::with_era_bound(usize::MAX)
+    }
+
+    /// Creates an unlocked instance whose detached segments serve at
+    /// most `bound` admissions before the remainder is re-queued under
+    /// the next era (bounded bypass for fresh arrivals).
+    ///
+    /// # Panics
+    ///
+    /// `bound` must be at least 1.
+    pub fn with_era_bound(bound: usize) -> Self {
+        assert!(bound >= 1, "era bound must admit at least one thread");
+        ReciprocatingLock {
+            arrivals: CachePadded::new(AtomicUsize::new(UNLOCKED)),
+            era_bound: bound,
+        }
+    }
+
+    /// The configured era bound (`usize::MAX` = unbounded).
+    pub fn era_bound(&self) -> usize {
+        self.era_bound
+    }
+
+    /// True if held or contended (racy snapshot; for monitoring only).
+    pub fn has_waiters_or_holder(&self) -> bool {
+        self.arrivals.load(Ordering::Relaxed) != UNLOCKED
+    }
+
+    #[cold]
+    fn lock_slow(&self) -> RecipToken {
+        // The wait element lives on THIS stack frame until the grant
+        // arrives; its address is published through `arrivals` and
+        // through the pusher-above's `next`, both of which are consumed
+        // before `lock_slow` returns.
+        let e = CachePadded::new(WaitElem {
+            gate: AtomicUsize::new(GATE_CLOSED),
+            next: AtomicUsize::new(LOCKED_EMPTY),
+        });
+        let me = &*e as *const WaitElem as usize;
+        let mut cur = self.arrivals.load(Ordering::Relaxed);
+        loop {
+            if cur == UNLOCKED {
+                // Free after all: take it without queueing.
+                match self.arrivals.compare_exchange_weak(
+                    UNLOCKED,
+                    LOCKED_EMPTY,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return RecipToken { succ: 0, budget: 0 },
+                    Err(seen) => {
+                        cur = seen;
+                        continue;
+                    }
+                }
+            }
+            // Locked: push onto the arrivals stack. `cur` is either
+            // LOCKED_EMPTY or the address of a live waiting element
+            // (CAS success certifies it is the current top), so the
+            // chain below us always bottoms out at LOCKED_EMPTY.
+            e.next.store(cur, Ordering::Relaxed);
+            match self
+                .arrivals
+                .compare_exchange_weak(cur, me, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        // Spin on our own gate — the only line this thread touches
+        // while waiting, and the only line its granter will touch.
+        let mut spins = 0u32;
+        let grant = loop {
+            let g = e.gate.load(Ordering::Acquire);
+            if g != GATE_CLOSED {
+                break g;
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        };
+        // Our `next` was frozen at push time; LOCKED_EMPTY marks the
+        // segment's end. The element below us (if any) is still
+        // spinning on its own gate, so its address stays valid until
+        // we grant it at unlock.
+        let n = e.next.load(Ordering::Relaxed);
+        RecipToken {
+            succ: if n == LOCKED_EMPTY { 0 } else { n },
+            budget: grant - 1,
+        }
+    }
+}
+
+impl Default for ReciprocatingLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ReciprocatingLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReciprocatingLock")
+            .field("busy", &self.has_waiters_or_holder())
+            .finish()
+    }
+}
+
+// SAFETY: exclusion is carried by the `arrivals` word (only one thread
+// at a time holds an ungranted token) and tokens are plain words.
+unsafe impl RawLock for ReciprocatingLock {
+    type Token = RecipToken;
+
+    fn lock(&self) -> RecipToken {
+        // Uncontended fast path: one CAS, no wait element at all.
+        if self
+            .arrivals
+            .compare_exchange(UNLOCKED, LOCKED_EMPTY, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            return RecipToken { succ: 0, budget: 0 };
+        }
+        self.lock_slow()
+    }
+
+    fn try_lock(&self) -> Option<RecipToken> {
+        self.arrivals
+            .compare_exchange(UNLOCKED, LOCKED_EMPTY, Ordering::AcqRel, Ordering::Relaxed)
+            .ok()
+            .map(|_| RecipToken { succ: 0, budget: 0 })
+    }
+
+    unsafe fn unlock(&self, token: RecipToken) {
+        if token.succ != 0 {
+            let succ = token.succ as *const WaitElem;
+            if token.budget > 0 {
+                // Constant-coherence handover: exactly one remote line
+                // (the successor's gate), whatever the queue depth.
+                (*succ).gate.store(token.budget, Ordering::Release);
+                return;
+            }
+            // Era budget exhausted. Re-queue the remainder of the
+            // segment (head = succ, chain bottoming at LOCKED_EMPTY)
+            // *underneath* whatever has arrived meanwhile, then open
+            // the next era. Never CAS `arrivals` toward UNLOCKED here:
+            // the remainder is embedded and must not be orphaned.
+            let old = self.arrivals.swap(token.succ, Ordering::AcqRel);
+            let top = if old == LOCKED_EMPTY {
+                // No new arrivals: the remainder (plus any thread that
+                // races in between the two swaps) IS the next segment.
+                self.arrivals.swap(LOCKED_EMPTY, Ordering::AcqRel)
+            } else {
+                // New arrivals form the next segment; the remainder
+                // stays queued in `arrivals` for the era after it.
+                old
+            };
+            (*(top as *const WaitElem))
+                .gate
+                .store(self.era_bound, Ordering::Release);
+            return;
+        }
+        // Segment exhausted. If nobody arrived during it, release;
+        // otherwise detach the accumulated stack as the next segment
+        // and admit its top (newest arrival first — the reversal).
+        if self
+            .arrivals
+            .compare_exchange(LOCKED_EMPTY, UNLOCKED, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        let top = self.arrivals.swap(LOCKED_EMPTY, Ordering::AcqRel);
+        (*(top as *const WaitElem))
+            .gate
+            .store(self.era_bound, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::mutual_exclusion_stress;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion() {
+        mutual_exclusion_stress(Arc::new(ReciprocatingLock::new()), 4, 2_000);
+    }
+
+    #[test]
+    fn mutual_exclusion_with_tight_era_bound() {
+        // Era bound 1 forces the rollover path on every contended
+        // release: the remainder re-queue must never lose a waiter.
+        mutual_exclusion_stress(Arc::new(ReciprocatingLock::with_era_bound(1)), 4, 2_000);
+        mutual_exclusion_stress(Arc::new(ReciprocatingLock::with_era_bound(2)), 4, 2_000);
+    }
+
+    #[test]
+    fn uncontended_lock_unlock_cycles() {
+        let l = ReciprocatingLock::new();
+        for _ in 0..100 {
+            let t = l.lock();
+            assert!(l.has_waiters_or_holder());
+            unsafe { l.unlock(t) };
+            assert!(!l.has_waiters_or_holder());
+        }
+    }
+
+    #[test]
+    fn try_lock_fails_under_holder() {
+        let l = ReciprocatingLock::new();
+        let t = l.lock();
+        assert!(l.try_lock().is_none());
+        unsafe { l.unlock(t) };
+        let t2 = l.try_lock().expect("free after unlock");
+        unsafe { l.unlock(t2) };
+    }
+
+    #[test]
+    fn thread_oblivious_release_with_token_transfer() {
+        // The cohort global-lock usage: release from another thread
+        // while a third thread is queued behind the holder.
+        let l = Arc::new(ReciprocatingLock::new());
+        let t = l.lock();
+        let l_waiter = Arc::clone(&l);
+        let waiter = std::thread::spawn(move || {
+            let t = l_waiter.lock();
+            unsafe { l_waiter.unlock(t) };
+        });
+        // Give the waiter a moment to enqueue.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let l_releaser = Arc::clone(&l);
+        std::thread::spawn(move || unsafe { l_releaser.unlock(t) })
+            .join()
+            .unwrap();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn era_bound_constructor_validates() {
+        assert_eq!(ReciprocatingLock::new().era_bound(), usize::MAX);
+        assert_eq!(ReciprocatingLock::with_era_bound(7).era_bound(), 7);
+        assert!(std::panic::catch_unwind(|| ReciprocatingLock::with_era_bound(0)).is_err());
+    }
+}

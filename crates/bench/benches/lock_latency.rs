@@ -1,5 +1,6 @@
 //! Criterion microbenchmarks: uncontended acquire/release latency of
-//! **every registered** lock kind (real nanoseconds, meaningful on any
+//! **every registered** lock kind, plus a two-thread handover ping-pong
+//! over the `fig_recip` roster (real nanoseconds, meaningful on any
 //! host).
 //!
 //! This is the §4.1.3 concern measured directly: a cohort lock pays for
@@ -15,6 +16,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lbench::LockKind;
 use numa_topology::Topology;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn uncontended(c: &mut Criterion) {
@@ -27,6 +29,41 @@ fn uncontended(c: &mut Criterion) {
                 lock.acquire();
                 lock.release();
             })
+        });
+    }
+    g.finish();
+}
+
+/// Two-thread handover ping-pong over the `fig_recip` roster: a partner
+/// thread hammers acquire/release while the measured thread does the
+/// same, so almost every release hands the lock to a waiting peer. This
+/// is the reciprocating claim in real nanoseconds — the constant
+/// cache-line touch count per handover should show up as Recip holding
+/// MCS-class latency here while TATAS degrades — complementing the
+/// deterministic succession census in `fig_recip`'s modelled cells.
+fn handover(c: &mut Criterion) {
+    let topo = Arc::new(Topology::new(4));
+    let mut g = c.benchmark_group("two_thread_handover");
+    for kind in LockKind::FIG_RECIP {
+        let lock = kind.make(&topo);
+        g.bench_function(kind.name(), |b| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let partner = {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.acquire();
+                        lock.release();
+                    }
+                })
+            };
+            b.iter(|| {
+                lock.acquire();
+                lock.release();
+            });
+            stop.store(true, Ordering::Relaxed);
+            partner.join().expect("partner thread panicked");
         });
     }
     g.finish();
@@ -47,5 +84,5 @@ fn abortable_timeout_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, uncontended, abortable_timeout_path);
+criterion_group!(benches, uncontended, handover, abortable_timeout_path);
 criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Exhibit Scenarios: one engine, many load shapes.
 //!
 //! The paper's grid (§4) is steady-state only; this exhibit exercises
-//! the scenario engine's other shapes over the five lock families —
+//! the scenario engine's other shapes over the six lock families —
 //! NUMA-oblivious (MCS, TATAS), cohort (C-BO-MCS, plus the C-RW-WP
 //! reader-writer composition), fissile fast-path (Fis-BO-MCS),
-//! compaction (CNA), and admission (GCR-C-BO-MCS):
+//! compaction (CNA), admission (GCR-C-BO-MCS), and reciprocating
+//! (Recip, plus its cohortized form C-Recip-MCS):
 //!
 //! * `steady` — the paper's shape, at the contended thread count;
 //! * `uncontended` — a single thread (*Fissile Locks* territory: where
@@ -275,7 +276,7 @@ fn main() {
     exhibit_main(Exhibit {
         name: "fig_scenarios",
         banner: format!(
-            "fig_scenarios: {} scenarios x 7 locks, {} threads contended, {} clusters",
+            "fig_scenarios: {} scenarios x 9 locks, {} threads contended, {} clusters",
             grid.len(),
             scenario_threads(),
             clusters()
@@ -287,6 +288,8 @@ fn main() {
             AnyLockKind::Excl(LockKind::FisBoMcs),
             AnyLockKind::Excl(LockKind::Cna),
             AnyLockKind::Excl(LockKind::GcrCBoMcs),
+            AnyLockKind::Excl(LockKind::Recip),
+            AnyLockKind::Excl(LockKind::CRecipMcs),
             AnyLockKind::Rw(RwLockKind::CRwWpBoMcs),
         ],
         grid,

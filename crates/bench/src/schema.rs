@@ -45,6 +45,16 @@ pub const FIG_CNA_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,
 pub const FIG_FISSILE_HEADER: &str = "lock,clusters,threads,throughput,acquisitions,migrations,\
      misses_per_cs,tenures,local_handoffs,mean_streak,max_streak,fast_acqs,slow_acqs,policy";
 
+/// Header of `fig_recip.csv` (written by the `fig_recip` binary): one
+/// row per mode × clusters × threads × lock. The `mode` column is
+/// `realtime` (real threads, throughput floors) or `modelled` (the
+/// deterministic disaggregated substrate, where `succ_transitions` — the
+/// succession census behind the constant-coherence self-check — is
+/// meaningful; realtime rows carry 0 there).
+pub const FIG_RECIP_HEADER: &str = "lock,mode,clusters,threads,throughput,acquisitions,\
+     migrations,misses_per_cs,succ_transitions,tenures,local_handoffs,mean_streak,max_streak,\
+     lat_p50_ns,lat_p99_ns,policy";
+
 /// Header of `fig_gcr.csv` (written by the `fig_gcr` binary): the
 /// `fig_fissile` shape with the cluster column replaced by the
 /// oversubscription factor (threads ÷ base threads) and the GCR
@@ -101,6 +111,7 @@ pub fn expected_header(file_name: &str) -> Option<String> {
         "fig_rw.csv" => Some(FIG_RW_HEADER.to_string()),
         "fig_cna.csv" => Some(FIG_CNA_HEADER.to_string()),
         "fig_fissile.csv" => Some(FIG_FISSILE_HEADER.to_string()),
+        "fig_recip.csv" => Some(FIG_RECIP_HEADER.to_string()),
         "fig_gcr.csv" => Some(FIG_GCR_HEADER.to_string()),
         "fig_scenarios.csv" => Some(FIG_SCENARIOS_HEADER.to_string()),
         "fig_model.csv" => Some(FIG_MODEL_HEADER.to_string()),
@@ -175,6 +186,7 @@ mod tests {
             FIG_RW_HEADER,
             FIG_CNA_HEADER,
             FIG_FISSILE_HEADER,
+            FIG_RECIP_HEADER,
             FIG_GCR_HEADER,
             FIG_SCENARIOS_HEADER,
             FIG_MODEL_HEADER,
@@ -192,6 +204,14 @@ mod tests {
         assert!(fis.starts_with("lock,clusters,threads,"), "{fis}");
         assert!(fis.contains("fast_acqs,slow_acqs"), "{fis}");
         assert!(fis.ends_with("policy"), "{fis}");
+    }
+
+    #[test]
+    fn recip_header_is_pinned() {
+        let r = expected_header("fig_recip.csv").unwrap();
+        assert!(r.starts_with("lock,mode,clusters,threads,"), "{r}");
+        assert!(r.contains("succ_transitions"), "{r}");
+        assert!(r.ends_with("policy"), "{r}");
     }
 
     #[test]

@@ -9,11 +9,14 @@
 //! * **MCS** — thread-oblivious thanks to pool-circulated queue nodes
 //!   (§3.4): its token is `Send`, so the cohort can carry the release
 //!   capability across threads. Used by C-MCS-MCS.
+//! * **Reciprocating** — thread-oblivious by construction: the token is
+//!   two plain words (successor pointer + era budget) and the release
+//!   path never consults thread identity. Used by C-Recip-MCS.
 
 use crate::traits::{AbortableGlobalLock, GlobalLock};
 use base_locks::{
-    BackoffLock, FibBackoffLock, McsLock, ParkingLock, RawAbortableLock, RawLock, TatasLock,
-    TicketLock,
+    BackoffLock, FibBackoffLock, McsLock, ParkingLock, RawAbortableLock, RawLock,
+    ReciprocatingLock, TatasLock, TicketLock,
 };
 
 macro_rules! delegate_global {
@@ -61,6 +64,7 @@ delegate_global!(BackoffLock);
 delegate_global!(FibBackoffLock);
 delegate_global!(TicketLock);
 delegate_global!(McsLock);
+delegate_global!(ReciprocatingLock);
 
 delegate_abortable_global!(ParkingLock);
 delegate_abortable_global!(TatasLock);
@@ -140,6 +144,7 @@ mod tests {
         exercise(&FibBackoffLock::new());
         exercise(&TicketLock::new());
         exercise(&McsLock::new());
+        exercise(&ReciprocatingLock::new());
     }
 
     #[test]
@@ -157,6 +162,7 @@ mod tests {
         cross(std::sync::Arc::new(BackoffLock::new()));
         cross(std::sync::Arc::new(TicketLock::new()));
         cross(std::sync::Arc::new(McsLock::new()));
+        cross(std::sync::Arc::new(ReciprocatingLock::new()));
     }
 
     #[test]

@@ -47,6 +47,13 @@
 //! periodically for long-term fairness (aliases [`GcrMcs`],
 //! [`GcrCBoMcs`], [`GcrFisBoMcs`]).
 //!
+//! The newest component is [`base_locks::ReciprocatingLock`] (Dice &
+//! Kogan, arXiv:2501.02380): a one-word arrivals stack whose release
+//! path admits detached segments in reversed (palindromic) order, so
+//! every handover touches a constant number of cache lines. Its token
+//! is plain data — thread-oblivious for free — which makes it a drop-in
+//! *global* lock: [`CRecipMcs`] is the cohortized composition.
+//!
 //! Beyond the paper's mutual-exclusion locks, the [`rwlock`] module
 //! applies the transformation to **reader-writer** locks in the style of
 //! the paper's follow-on work (*NUMA-Aware Reader-Writer Locks*, PPoPP
@@ -120,7 +127,7 @@ pub use traits::{
     Release,
 };
 
-use base_locks::{McsLock, SpinMutex, TicketLock};
+use base_locks::{McsLock, ReciprocatingLock, SpinMutex, TicketLock};
 
 /// C-BO-BO (§3.1): global BO lock, local BO locks with `successor-exists`.
 pub type CBoBo = CohortLock<GlobalBoLock, LocalBoLock>;
@@ -184,6 +191,13 @@ pub type GcrCBoMcs = GcrLock<CBoMcs>;
 /// GCR-Fis-BO-MCS: the admission layer over the fissile fast-path lock
 /// [`FisBoMcs`] — restriction, fast path, and cohorting stacked.
 pub type GcrFisBoMcs = GcrLock<FisBoMcs>;
+
+/// C-Recip-MCS: a Reciprocating lock (Dice & Kogan, arXiv:2501.02380) in
+/// the **global** position over local MCS queues. The reciprocating
+/// token is two plain words, so it is trivially thread-oblivious — the
+/// §3.4 requirement — and its constant-coherence handover makes the
+/// inter-cluster hop as cheap as the intra-cluster one.
+pub type CRecipMcs = CohortLock<ReciprocatingLock, LocalMcsLock>;
 
 #[cfg(test)]
 mod tests {
@@ -304,6 +318,13 @@ mod tests {
             4,
             1_500,
         );
+    }
+
+    #[test]
+    fn c_recip_mcs_mutual_exclusion() {
+        // Reciprocating global lock: exclusion must hold across era
+        // reversals on the global word and local MCS handoffs.
+        stress(CRecipMcs::new(topo()), 4, 1_500);
     }
 
     #[test]

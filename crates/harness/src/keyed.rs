@@ -605,6 +605,7 @@ fn assemble(
         slow_acquisitions: cstats.as_ref().map_or(0, |s| s.slow_acquisitions),
         passive_parks: cstats.as_ref().map_or(0, |s| s.passive_parks),
         promotions: cstats.as_ref().map_or(0, |s| s.promotions),
+        succ_transitions: 0,
         batch_hist: service.batch_hist(),
         lat_p50_ns: percentile(&lat, 50.0),
         lat_p99_ns: percentile(&lat, 99.0),

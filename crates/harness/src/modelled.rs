@@ -20,9 +20,19 @@
 //!   metadata only (`read_is_exclusive`, `is_abortable`, `policy_label`);
 //!   its *admission order* is simulated from the kind's mechanism via
 //!   [`AnyLockKind::modelled_admission`]: FIFO for queue/backoff/prior-
-//!   NUMA kinds, policy-bounded cluster batching for the cohort family.
-//!   Consequently fissile fast/slow splits and GCR park/promotion
+//!   NUMA kinds, policy-bounded cluster batching for the cohort family,
+//!   and the palindromic segment schedule for the plain Reciprocating
+//!   lock. Consequently fissile fast/slow splits and GCR park/promotion
 //!   counters are **0** in modelled results.
+//! * **The succession census** books, per serialized grant, the number
+//!   of cache lines the release-side admission decision fans out to:
+//!   `1 + waiting set` for FIFO/centralized mechanisms (every spinner
+//!   holds the succession word in its cache), `1 + same-cluster waiters`
+//!   for cluster-batched kinds, and at most `2` for the reciprocating
+//!   schedule (one gate line, plus the arrivals word at a segment
+//!   detach). It is pure accounting — it never advances the vclock, so
+//!   adding it changed no previously-committed modelled CSV — and it is
+//!   the quantity `fig_recip`'s constant-coherence self-check pins.
 //! * **The window is per-thread.** Real mode stops all threads through a
 //!   shared flag (racy); here each logical thread runs ops until its own
 //!   clock passes `cfg.window_ns`, then retires. An op in flight at the
@@ -168,6 +178,19 @@ struct Sim<'a> {
     abortable: bool,
     draws_coin: bool,
     book: TenureBook,
+    /// [`ModelledAdmission::ReciprocatingStack`] only: the detached
+    /// segment, sorted ascending by `(arrival, tid)` and admitted from
+    /// the back (newest first — the palindromic reversal). Threads
+    /// arriving after the detach wait for the next segment.
+    recip_segment: Vec<(u64, usize)>,
+    /// True between a segment detach and the grant that consumes it:
+    /// that grant touched the shared arrivals word as well as the gate.
+    recip_detached: bool,
+    /// Succession census: coherence transitions the release-side
+    /// admission decisions fan out to, summed over serialized grants
+    /// (see [`ScenarioResult::succ_transitions`]). Accounting only —
+    /// never advances the vclock.
+    succ_transitions: u64,
 }
 
 impl Sim<'_> {
@@ -277,6 +300,33 @@ impl Sim<'_> {
         self.handoff.on_acquire(cluster);
         let now = vclock::now();
         self.ths[tid].lat.record(now.saturating_sub(arrival));
+        // Succession census (accounting only — no vclock effect): how
+        // many lines the grant decision fans out to. A FIFO/centralized
+        // mechanism exposes its succession word to every spinning
+        // waiter; cluster batching confines the fan-out to the tenure's
+        // cluster; the reciprocating gate touches exactly one waiter's
+        // line, plus the arrivals word when this grant detached a fresh
+        // segment.
+        self.succ_transitions += match self.admission {
+            ModelledAdmission::Fifo => {
+                1 + self.ths.iter().filter(|t| t.waiting.is_some()).count() as u64
+            }
+            ModelledAdmission::ClusterBatched(_) => {
+                1 + self
+                    .ths
+                    .iter()
+                    .filter(|t| t.waiting.is_some() && t.cluster == cluster)
+                    .count() as u64
+            }
+            ModelledAdmission::ReciprocatingStack => {
+                if self.recip_detached {
+                    2
+                } else {
+                    1
+                }
+            }
+        };
+        self.recip_detached = false;
         if let ModelledAdmission::ClusterBatched(_) = self.admission {
             if via_local {
                 self.book.local_pass();
@@ -337,6 +387,27 @@ impl Sim<'_> {
         }
         let (pick, via_local) = match self.admission {
             ModelledAdmission::Fifo => (best, false),
+            ModelledAdmission::ReciprocatingStack => {
+                // Palindromic schedule: when the current segment runs
+                // dry, freeze the whole waiting set into the next one
+                // and admit it newest-first. Nobody already waiting can
+                // be overtaken by a later arrival more than once per
+                // segment flip — the bounded-bypass invariant.
+                if self.recip_segment.is_empty() {
+                    let mut seg: Vec<(u64, usize)> = self
+                        .ths
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, th)| th.waiting.map(|w| (w.arrival, i)))
+                        .collect();
+                    seg.sort_unstable();
+                    if !seg.is_empty() {
+                        self.recip_detached = true;
+                    }
+                    self.recip_segment = seg;
+                }
+                (self.recip_segment.pop(), false)
+            }
             ModelledAdmission::ClusterBatched(limit) => {
                 let may_pass = self.book.active
                     && match limit {
@@ -427,6 +498,9 @@ pub(crate) fn run_modelled(
         abortable: lock.is_abortable(),
         draws_coin: scenario.draws_coin(kind),
         book: TenureBook::default(),
+        recip_segment: Vec::new(),
+        recip_detached: false,
+        succ_transitions: 0,
     };
     for i in 0..cfg.threads {
         sim.q.push(0, Ev::Start(i));
@@ -512,6 +586,7 @@ pub(crate) fn run_modelled(
         slow_acquisitions: 0,
         passive_parks: 0,
         promotions: 0,
+        succ_transitions: sim.succ_transitions,
         batch_hist: sim.handoff.batches().snapshot().to_vec(),
         lat_p50_ns: percentile(&lat, 50.0),
         lat_p99_ns: percentile(&lat, 99.0),
@@ -584,6 +659,52 @@ mod tests {
     }
 
     #[test]
+    fn recip_runs_are_bit_identical_and_lose_no_waiters() {
+        let mut c = cfg(6);
+        c.noncs_max_ns = 0; // saturate: segment flips on every release
+        let a = run_scenario(AnyLockKind::Excl(LockKind::Recip), &modelled(), &c);
+        let b = run_scenario(AnyLockKind::Excl(LockKind::Recip), &modelled(), &c);
+        assert_eq!(a.first_divergence(&b), None);
+        assert!(a.total_ops > 0);
+        // No lost waiters across segment flips: every thread finishes
+        // ops (a dropped waiter would strand its thread at 0 forever).
+        assert!(
+            a.per_thread_ops.iter().all(|&ops| ops > 0),
+            "a thread starved: {:?}",
+            a.per_thread_ops
+        );
+        assert_eq!(a.tenures, 0, "recip books no tenures");
+    }
+
+    #[test]
+    fn recip_succession_census_stays_flat_while_fifo_grows() {
+        // The constant-coherence claim in model form: per-acquisition
+        // succession transitions for the reciprocating schedule are
+        // bounded by 2 at every thread count, while a FIFO/centralized
+        // mechanism's grow with the waiting set.
+        let mut ratios_mcs = Vec::new();
+        for threads in [2, 8] {
+            let mut c = cfg(threads);
+            c.noncs_max_ns = 0;
+            let recip = run_scenario(AnyLockKind::Excl(LockKind::Recip), &modelled(), &c);
+            assert!(recip.acquisitions > 0);
+            assert!(
+                recip.succ_transitions <= 2 * recip.acquisitions,
+                "recip at {threads} threads: {} transitions over {} acquisitions",
+                recip.succ_transitions,
+                recip.acquisitions
+            );
+            let mcs = run_scenario(AnyLockKind::Excl(LockKind::Mcs), &modelled(), &c);
+            assert!(mcs.acquisitions > 0);
+            ratios_mcs.push(mcs.succ_transitions as f64 / mcs.acquisitions as f64);
+        }
+        assert!(
+            ratios_mcs[1] > ratios_mcs[0] + 1.0,
+            "FIFO census must grow with threads: {ratios_mcs:?}"
+        );
+    }
+
+    #[test]
     fn single_thread_is_kind_invariant() {
         // At one thread admission order is irrelevant: every exclusive
         // kind must produce the *same* modelled schedule.
@@ -594,6 +715,13 @@ mod tests {
         assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         assert_eq!(a.acquisitions, b.acquisitions);
         assert_eq!(a.lat_p50_ns, b.lat_p50_ns);
+        // Including the reciprocating schedule — an empty waiting set
+        // makes every census rule book exactly 1 per grant.
+        let r = run_scenario(AnyLockKind::Excl(LockKind::Recip), &modelled(), &c);
+        assert_eq!(a.total_ops, r.total_ops);
+        assert_eq!(a.acquisitions, r.acquisitions);
+        assert_eq!(a.succ_transitions, r.succ_transitions);
+        assert_eq!(a.succ_transitions, a.acquisitions);
     }
 
     #[test]

@@ -5,9 +5,9 @@ use crate::bench_lock::{
 };
 use crate::bench_rwlock::{BenchRwLock, CohortRwAdapter, MutexAsRw, StdRwAdapter};
 use cohort::{
-    AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CTktMcs, CTktTkt, CohortLock, CohortRwLock, DynPolicy,
-    FisBoMcs, FisTktMcs, FissileLock, GcrLock, GlobalBoLock, LocalAClhLock, LocalAboLock,
-    LocalBoLock, LocalMcsLock, LocalTicketLock, PolicySpec, RwFairness,
+    AcBoBo, AcBoClh, CBoBo, CBoMcs, CMcsMcs, CRecipMcs, CTktMcs, CTktTkt, CohortLock, CohortRwLock,
+    DynPolicy, FisBoMcs, FisTktMcs, FissileLock, GcrLock, GlobalBoLock, LocalAClhLock,
+    LocalAboLock, LocalBoLock, LocalMcsLock, LocalTicketLock, PolicySpec, RwFairness,
 };
 use numa_baselines::{CnaLock, FcMcsLock, HboLock, HboParams, HclhLock};
 use numa_topology::Topology;
@@ -50,6 +50,12 @@ pub enum LockKind {
     GcrMcs,
     GcrCBoMcs,
     GcrFisBoMcs,
+    // Reciprocating locks (Dice & Kogan, arXiv:2501.02380): a one-word
+    // arrivals stack admitted in reversed (palindromic) segments, so
+    // every handover costs a constant number of coherence transitions —
+    // plain, and cohortized as the global lock over local MCS queues.
+    Recip,
+    CRecipMcs,
     // Abortable locks (Figure 6).
     AClh,
     AHbo,
@@ -83,6 +89,8 @@ impl LockKind {
             LockKind::GcrMcs => "GCR-MCS",
             LockKind::GcrCBoMcs => "GCR-C-BO-MCS",
             LockKind::GcrFisBoMcs => "GCR-Fis-BO-MCS",
+            LockKind::Recip => "Recip",
+            LockKind::CRecipMcs => "C-Recip-MCS",
             LockKind::AClh => "A-CLH",
             LockKind::AHbo => "A-HBO",
             LockKind::ACBoBo => "A-C-BO-BO",
@@ -99,9 +107,17 @@ impl LockKind {
                 | LockKind::CBoMcs
                 | LockKind::CTktMcs
                 | LockKind::CMcsMcs
+                | LockKind::CRecipMcs
                 | LockKind::ACBoBo
                 | LockKind::ACBoClh
         )
+    }
+
+    /// Whether this kind's admission order is the Reciprocating lock's
+    /// palindromic segment schedule (plain, or in the global position of
+    /// a cohort composition).
+    pub fn is_recip(self) -> bool {
+        matches!(self, LockKind::Recip | LockKind::CRecipMcs)
     }
 
     /// Fairness threshold of the [`LockKind::CnaTight`] variant (also
@@ -196,6 +212,8 @@ impl LockKind {
                 Arc::clone(topo),
                 FisBoMcs::new(Arc::clone(topo)),
             ))),
+            LockKind::Recip => Arc::new(RawAdapter::new(base_locks::ReciprocatingLock::new())),
+            LockKind::CRecipMcs => Arc::new(CohortAdapter::new(CRecipMcs::new(Arc::clone(topo)))),
             LockKind::AClh => Arc::new(AbortableAdapter::new(base_locks::AbortableClhLock::new())),
             LockKind::AHbo => Arc::new(AbortableAdapter::new(HboLock::with_params(
                 Arc::clone(topo),
@@ -299,6 +317,9 @@ impl LockKind {
             LockKind::CBoMcs => cohort::<GlobalBoLock, LocalMcsLock>(topo, policy),
             LockKind::CTktMcs => cohort::<base_locks::TicketLock, LocalMcsLock>(topo, policy),
             LockKind::CMcsMcs => cohort::<base_locks::McsLock, LocalMcsLock>(topo, policy),
+            LockKind::CRecipMcs => {
+                cohort::<base_locks::ReciprocatingLock, LocalMcsLock>(topo, policy)
+            }
             LockKind::FisBoMcs => fissile::<GlobalBoLock, LocalMcsLock>(topo, policy),
             LockKind::FisTktMcs => fissile::<base_locks::TicketLock, LocalMcsLock>(topo, policy),
             LockKind::GcrCBoMcs => gcr_cohort::<GlobalBoLock, LocalMcsLock>(topo, policy),
@@ -365,10 +386,23 @@ impl LockKind {
         LockKind::GcrFisBoMcs,
     ];
 
+    /// The comparison set of the `fig_recip` exhibit: the reciprocating
+    /// lock and its cohortized form next to the queue baseline (MCS),
+    /// the compaction competitor (CNA), the fissile fast-path graft, and
+    /// the centralized-word floor (TATAS) the saturation check uses.
+    pub const FIG_RECIP: [LockKind; 6] = [
+        LockKind::Tatas,
+        LockKind::Mcs,
+        LockKind::Cna,
+        LockKind::FisBoMcs,
+        LockKind::Recip,
+        LockKind::CRecipMcs,
+    ];
+
     /// Every registered kind, in registry order — the sweep set of the
     /// `lock_latency` criterion bench (uncontended overhead is measured
     /// per lock, so a kind missing here escapes regression tracking).
-    pub const ALL: [LockKind; 26] = [
+    pub const ALL: [LockKind; 28] = [
         LockKind::Pthread,
         LockKind::Tatas,
         LockKind::FibBo,
@@ -391,6 +425,8 @@ impl LockKind {
         LockKind::GcrMcs,
         LockKind::GcrCBoMcs,
         LockKind::GcrFisBoMcs,
+        LockKind::Recip,
+        LockKind::CRecipMcs,
         LockKind::AClh,
         LockKind::AHbo,
         LockKind::ACBoBo,
@@ -679,6 +715,13 @@ pub enum ModelledAdmission {
     /// fissile wrappers (slow path is a cohort lock), and the GCR
     /// wrappers over policy-driven inner locks.
     ClusterBatched(TenureLimit),
+    /// The Reciprocating lock's palindromic schedule: the waiting set is
+    /// frozen into a *segment* at detach time and admitted newest-first;
+    /// threads arriving later wait for the next segment (bounded bypass
+    /// — nobody is overtaken twice in one era). Each handover touches a
+    /// constant number of lines, which the succession census books as
+    /// such.
+    ReciprocatingStack,
 }
 
 impl AnyLockKind {
@@ -686,6 +729,13 @@ impl AnyLockKind {
     /// honoring `policy` exactly where the real constructor would
     /// ([`AnyLockKind::make`] ignores the knob for non-policy kinds).
     pub fn modelled_admission(self, policy: Option<PolicySpec>) -> ModelledAdmission {
+        // The plain Reciprocating lock has no policy knob yet is anything
+        // but FIFO: its admission order is the detached-segment reversal.
+        // (C-Recip-MCS is a cohort composition and books as
+        // ClusterBatched below, like every other cohort kind.)
+        if let AnyLockKind::Excl(LockKind::Recip) = self {
+            return ModelledAdmission::ReciprocatingStack;
+        }
         if !self.has_policy_knob() {
             return ModelledAdmission::Fifo;
         }
@@ -775,6 +825,8 @@ mod tests {
                 | LockKind::GcrMcs
                 | LockKind::GcrCBoMcs
                 | LockKind::GcrFisBoMcs
+                | LockKind::Recip
+                | LockKind::CRecipMcs
                 | LockKind::AClh
                 | LockKind::AHbo
                 | LockKind::ACBoBo
@@ -827,6 +879,16 @@ mod tests {
         assert!(!LockKind::GcrCBoMcs.is_cohort());
         assert!(!LockKind::GcrFisBoMcs.is_fissile());
         assert!(!LockKind::Mcs.is_gcr());
+        // The reciprocating family: the plain lock has no policy knob
+        // (its admission order is structural, not tunable), while the
+        // cohortized form is a full cohort composition.
+        assert!(LockKind::Recip.is_recip());
+        assert!(LockKind::CRecipMcs.is_recip());
+        assert!(!LockKind::Recip.is_cohort());
+        assert!(!LockKind::Recip.has_policy_knob());
+        assert!(LockKind::CRecipMcs.is_cohort());
+        assert!(LockKind::CRecipMcs.has_policy_knob());
+        assert!(!LockKind::Mcs.is_recip());
         assert_eq!(LockKind::Cna.cna_threshold(), Some(64));
         assert_eq!(
             LockKind::CnaTight.cna_threshold(),
@@ -841,6 +903,7 @@ mod tests {
         for kind in [
             LockKind::CBoBo,
             LockKind::CTktMcs,
+            LockKind::CRecipMcs,
             LockKind::ACBoClh,
             LockKind::Cna,
             LockKind::CnaTight,
@@ -855,6 +918,7 @@ mod tests {
             assert_eq!(stats.global_releases(), 1, "{kind}");
         }
         assert!(LockKind::Mcs.make(&topo).cohort_stats().is_none());
+        assert!(LockKind::Recip.make(&topo).cohort_stats().is_none());
         assert!(LockKind::Pthread.make(&topo).cohort_stats().is_none());
     }
 
@@ -1070,6 +1134,23 @@ mod tests {
                 .modelled_admission(Some(PolicySpec::Count { bound: 2 })),
             Fifo
         );
+        // The reciprocating family: plain Recip has no policy knob yet
+        // is NOT FIFO — its structural admission order wins even when a
+        // (ignored) policy is passed; the cohortized form books like any
+        // cohort kind.
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::Recip).modelled_admission(None),
+            ReciprocatingStack
+        );
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::Recip)
+                .modelled_admission(Some(PolicySpec::Count { bound: 2 })),
+            ReciprocatingStack
+        );
+        assert_eq!(
+            AnyLockKind::Excl(LockKind::CRecipMcs).modelled_admission(None),
+            ClusterBatched(TenureLimit::Count(cohort::CountBound::PAPER_BOUND))
+        );
     }
 
     #[test]
@@ -1081,6 +1162,7 @@ mod tests {
             LockKind::CBoMcs,
             LockKind::CTktMcs,
             LockKind::CMcsMcs,
+            LockKind::CRecipMcs,
             LockKind::FisBoMcs,
             LockKind::FisTktMcs,
             LockKind::GcrCBoMcs,

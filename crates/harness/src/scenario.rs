@@ -378,6 +378,15 @@ pub struct ScenarioResult {
     /// Parked threads a GCR rotation promoted into the active set — 0
     /// for unwrapped kinds.
     pub promotions: u64,
+    /// Modelled **succession census**: coherence transitions the
+    /// release-side admission decisions fanned out to, summed over
+    /// serialized grants — `1 + waiting set` per grant for
+    /// FIFO/centralized mechanisms, `1 + same-cluster waiters` for
+    /// cluster-batched kinds, at most `2` for the reciprocating
+    /// schedule. Booked only by the modelled runner (see the
+    /// `modelled` module docs); 0 in real-time, keyed, and external
+    /// results.
+    pub succ_transitions: u64,
     /// Power-of-two histogram of same-cluster batch lengths.
     pub batch_hist: Vec<u64>,
     /// Median modelled acquisition latency (exclusive acquisitions, ns).
@@ -445,6 +454,7 @@ impl ScenarioResult {
         cmp!(slow_acquisitions);
         cmp!(passive_parks);
         cmp!(promotions);
+        cmp!(succ_transitions);
         cmp!(batch_hist);
         cmp!(lat_p50_ns);
         cmp!(lat_p99_ns);
@@ -562,6 +572,7 @@ impl ScenarioResult {
             slow_acquisitions: 0,
             passive_parks: 0,
             promotions: 0,
+            succ_transitions: 0,
             batch_hist: Vec::new(),
             lat_p50_ns: 0,
             lat_p99_ns: 0,
@@ -1019,6 +1030,8 @@ pub fn run_scenario_on(
         slow_acquisitions: cstats.as_ref().map_or(0, |s| s.slow_acquisitions),
         passive_parks: cstats.as_ref().map_or(0, |s| s.passive_parks),
         promotions: cstats.as_ref().map_or(0, |s| s.promotions),
+        // The succession census is a modelled-runner quantity.
+        succ_transitions: 0,
         batch_hist: handoff.batches().snapshot().to_vec(),
         lat_p50_ns: percentile(&lat, 50.0),
         lat_p99_ns: percentile(&lat, 99.0),

@@ -4,7 +4,7 @@
 //! is validated with a torn-counter detector; policy invariants are
 //! validated against the [`CohortStats`] counters.
 
-use base_locks::{McsLock, RawLock, TicketLock};
+use base_locks::{McsLock, RawLock, ReciprocatingLock, TicketLock};
 use cohort::{
     AdaptiveBound, CohortLock, CohortStats, CountBound, FissileLock, GcrLock, GlobalBoLock,
     GlobalLock, HandoffPolicy, LocalAClhLock, LocalAboLock, LocalBoLock, LocalCohortLock,
@@ -74,6 +74,11 @@ matrix_test!(tkt_over_aclh, TicketLock, LocalAClhLock);
 matrix_test!(mcs_over_aclh, McsLock, LocalAClhLock);
 matrix_test!(tkt_over_abo, TicketLock, LocalAboLock);
 matrix_test!(mcs_over_abo, McsLock, LocalAboLock);
+// …and the reciprocating global (C-Recip-MCS plus an unnamed sibling):
+// its two-plain-word token is thread-oblivious by construction, so the
+// §3.4 requirement costs it nothing.
+matrix_test!(recip_over_mcs, ReciprocatingLock, LocalMcsLock);
+matrix_test!(recip_over_tkt, ReciprocatingLock, LocalTicketLock);
 
 // ---------------------------------------------------------------------------
 // The policy matrix: every shipped HandoffPolicy keeps mutual exclusion

@@ -62,6 +62,35 @@ fn mcs_global_token_transfers_between_cohort_threads() {
 }
 
 #[test]
+fn recip_global_token_transfers_between_cohort_threads() {
+    // The C-Recip-MCS scenario distilled: a reciprocating token taken by
+    // one thread and released by another, while a third contends — the
+    // token is two plain words, so thread-obliviousness needs no
+    // node-ownership transfer at all.
+    let lock = Arc::new(base_locks::ReciprocatingLock::new());
+    for _ in 0..50 {
+        let t = GlobalLock::lock(&*lock);
+        let contender = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                let t = GlobalLock::lock(&*lock);
+                // SAFETY: our own token.
+                unsafe { GlobalLock::unlock(&*lock, t) };
+            })
+        };
+        let releaser = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                // SAFETY: token handed over; thread-obliviousness.
+                unsafe { GlobalLock::unlock(&*lock, t) };
+            })
+        };
+        releaser.join().unwrap();
+        contender.join().unwrap();
+    }
+}
+
+#[test]
 fn every_registry_lock_supports_nested_distinct_instances() {
     // Two instances of the same kind must be independent.
     let topo = Arc::new(Topology::new(4));
@@ -79,6 +108,8 @@ fn every_registry_lock_supports_nested_distinct_instances() {
         LockKind::GcrMcs,
         LockKind::GcrCBoMcs,
         LockKind::GcrFisBoMcs,
+        LockKind::Recip,
+        LockKind::CRecipMcs,
     ] {
         let a = kind.make(&topo);
         let b = kind.make(&topo);
